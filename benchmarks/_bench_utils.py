@@ -1,0 +1,16 @@
+"""Shared constants and helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import os
+
+#: Scale factor applied to Table 1's per-dataset counts.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "2e-5"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+def banner(title: str) -> None:
+    print()
+    print("#" * 72)
+    print(f"# {title}")
+    print("#" * 72)

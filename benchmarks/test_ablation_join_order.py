@@ -1,0 +1,71 @@
+"""Ablation — greedy join ordering in the indexed engine.
+
+DESIGN.md calls out the join-order heuristic as a design choice worth
+ablating: the IndexedEngine reorders each BGP greedily by estimated
+selectivity.  This bench runs the same chain workloads with reordering
+on and off and shows the heuristic never loses badly and wins when the
+textual order is adversarial (selective patterns last).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import banner
+
+from repro.engine.evaluator import PatternEvaluator
+from repro.sparql import parse_query
+from repro.workload import bib_schema, generate_graph
+
+
+def _adversarial_query(schema):
+    """Joins ordered worst-first: the unselective scan comes first and
+    the highly selective constant pattern last."""
+    ns = schema.namespace
+    return parse_query(
+        f"""
+        SELECT ?r ?p2 WHERE {{
+          ?p1 <{ns}cites> ?p2 .
+          ?p1 <{ns}authoredBy> ?r .
+          ?r <{ns}type> <{ns}Researcher> .
+          ?p1 <{ns}publishedIn> <{ns}journal/0> .
+        }}
+        """
+    )
+
+
+def _run(graph, query, reorder):
+    evaluator = PatternEvaluator(graph, strategy="indexed", reorder=reorder)
+    return evaluator.evaluate_query(query)
+
+
+def test_ablation_join_order(benchmark, figure3_graph):
+    import time
+
+    schema, graph = figure3_graph
+    query = _adversarial_query(schema)
+
+    def run_reordered():
+        return _run(graph, query, reorder=True)
+
+    rows_reordered = benchmark.pedantic(run_reordered, rounds=1, iterations=1)
+
+    started = time.monotonic()
+    rows_textual = _run(graph, query, reorder=False)
+    textual_elapsed = time.monotonic() - started
+
+    started = time.monotonic()
+    _run(graph, query, reorder=True)
+    reordered_elapsed = time.monotonic() - started
+
+    banner("Ablation: BGP join ordering (greedy selectivity vs textual)")
+    print(f"textual order:   {textual_elapsed * 1e3:9.2f} ms")
+    print(f"greedy reorder:  {reordered_elapsed * 1e3:9.2f} ms")
+    if reordered_elapsed > 0:
+        print(f"speedup:         {textual_elapsed / reordered_elapsed:9.2f}x")
+
+    # Correctness: both orders return the same bag of solutions.
+    canonical = lambda rows: sorted(
+        tuple(sorted((v.name, str(t)) for v, t in row.items())) for row in rows
+    )
+    assert canonical(rows_reordered) == canonical(rows_textual)
+    # The heuristic should not lose by more than a small constant.
+    assert reordered_elapsed <= textual_elapsed * 2 + 0.05

@@ -1,0 +1,53 @@
+"""Ablation — banded vs full Levenshtein (§8).
+
+Streak discovery was "extremely resource-consuming" for the paper; the
+band optimization is what makes it affordable here.  This bench
+measures the banded O(k·n) similarity test against the full O(n²) DP
+over the same query pairs and verifies identical decisions.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _bench_utils import banner
+
+from repro.analysis import levenshtein
+from repro.analysis.streaks import strip_prefixes
+from repro.workload import generate_day_log
+
+
+def test_ablation_levenshtein_band(benchmark):
+    log = [strip_prefixes(q) for q in generate_day_log(400, seed=4)]
+    pairs = list(zip(log, log[1:]))
+
+    def banded_pass():
+        decisions = []
+        for a, b in pairs:
+            budget = int(max(len(a), len(b)) * 0.25)
+            decisions.append(levenshtein(a, b, max_distance=budget) is not None)
+        return decisions
+
+    banded_decisions = benchmark.pedantic(banded_pass, rounds=1, iterations=1)
+
+    started = time.monotonic()
+    full_decisions = []
+    for a, b in pairs:
+        budget = int(max(len(a), len(b)) * 0.25)
+        full_decisions.append(levenshtein(a, b) <= budget)
+    full_elapsed = time.monotonic() - started
+
+    started = time.monotonic()
+    banded_pass()
+    banded_elapsed = time.monotonic() - started
+
+    banner("Ablation: banded vs full Levenshtein")
+    print(f"full DP:   {full_elapsed * 1e3:9.1f} ms over {len(pairs)} pairs")
+    print(f"banded:    {banded_elapsed * 1e3:9.1f} ms")
+    if banded_elapsed > 0:
+        print(f"speedup:   {full_elapsed / banded_elapsed:9.2f}x")
+
+    # The optimization must not change any similarity decision.
+    assert banded_decisions == full_decisions
+    # And it should actually be faster on dissimilar pairs.
+    assert banded_elapsed <= full_elapsed * 1.2

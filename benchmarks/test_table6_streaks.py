@@ -1,0 +1,70 @@
+"""Table 6 — streak lengths in single-day logs.
+
+The paper scans three single-day DBpedia logs (2014/2015/2016) with
+window 30 and normalized Levenshtein ≤ 0.25.  What should hold: the
+length histogram is heavily skewed to 1–10, decays monotonically-ish
+through the buckets, and long streaks (> 100; paper's max was 169)
+exist but are rare.
+"""
+
+from __future__ import annotations
+
+import os
+
+from _bench_utils import banner
+
+from repro.analysis import find_streaks, streak_length_histogram
+from repro.reporting import render_table6
+from repro.workload import DATASET_PROFILES, generate_day_log
+
+PAPER_TABLE6 = {
+    "1-10": (42_272, 167_292, 199_375),
+    "11-20": (3_732, 24_001, 37_402),
+    "21-30": (2_425, 4_813, 17_749),
+    "31-40": (884, 667, 5_849),
+    ">100": (5, 0, 24),
+}
+
+DAY_LOG_SIZE = int(os.environ.get("REPRO_BENCH_DAYLOG", "800"))
+
+
+def test_table6_streaks(benchmark):
+    day_logs = {
+        "DBP'14": generate_day_log(
+            DAY_LOG_SIZE, session_rate=0.20, seed=14,
+            profile=DATASET_PROFILES["DBpedia14"],
+        ),
+        "DBP'15": generate_day_log(
+            DAY_LOG_SIZE, session_rate=0.30, seed=15,
+            profile=DATASET_PROFILES["DBpedia15"],
+        ),
+        "DBP'16": generate_day_log(
+            DAY_LOG_SIZE, session_rate=0.40, seed=16,
+            profile=DATASET_PROFILES["DBpedia16"],
+        ),
+    }
+
+    def detect_all():
+        return {
+            name: streak_length_histogram(find_streaks(log, window=30))
+            for name, log in day_logs.items()
+        }
+
+    histograms = benchmark.pedantic(detect_all, rounds=1, iterations=1)
+
+    banner(f"Table 6: streak lengths ({DAY_LOG_SIZE}-query day logs)")
+    print(render_table6(histograms))
+    print()
+    print("Paper (day logs of 273MiB/803MiB/1004MiB):")
+    for bucket, values in PAPER_TABLE6.items():
+        print(f"  {bucket:<6} {values}")
+
+    # Shape checks.
+    for name, histogram in histograms.items():
+        assert histogram["1-10"] == max(histogram.values()), name
+        assert histogram["1-10"] > histogram["11-20"], name
+    # Multi-query streaks exist (the refinement sessions).
+    assert any(
+        sum(v for k, v in histogram.items() if k != "1-10") > 0
+        for histogram in histograms.values()
+    )

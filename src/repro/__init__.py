@@ -1,0 +1,98 @@
+"""repro — reproduction of "An Analytical Study of Large SPARQL Query
+Logs" (Bonifati, Martens, Timm; VLDB 2017).
+
+The library has six layers:
+
+* :mod:`repro.rdf` — RDF terms, triples, indexed graph store, N-Triples;
+* :mod:`repro.sparql` — SPARQL 1.1 tokenizer, parser, AST, serializer;
+* :mod:`repro.engine` — query evaluation with two engine profiles
+  (indexed vs nested-loop) for the paper's Figure 3 experiment;
+* :mod:`repro.workload` — gMark-style graph/query generation and the
+  calibrated synthetic log corpus standing in for the private logs;
+* :mod:`repro.logs` — log formats and the clean/parse/dedup pipeline;
+* :mod:`repro.analysis` — the paper's analyses: keyword/operator
+  statistics, fragment classification (CQ/CQF/CQOF), canonical
+  graph/hypergraph shapes, tree- and hypertree width, property-path
+  taxonomy, and streak detection.
+
+Quickstart::
+
+    from repro import parse_query, classify_shape, canonical_graph
+    query = parse_query("ASK WHERE { ?x <urn:p> ?y . ?y <urn:p> ?x }")
+    shape = classify_shape(canonical_graph(query.pattern))
+    assert shape.cycle
+"""
+
+from .analysis import (
+    canonical_graph,
+    canonical_hypergraph,
+    classify_fragments,
+    classify_operators,
+    classify_path,
+    classify_shape,
+    extract_features,
+    find_streaks,
+    hypertree_width,
+    treewidth,
+)
+from .analysis.study import CorpusStudy, study_corpus
+from .engine import IndexedEngine, NestedLoopEngine
+from .exceptions import (
+    EvaluationError,
+    EvaluationTimeout,
+    LogFormatError,
+    ReproError,
+    SparqlSyntaxError,
+    WorkloadError,
+)
+from .logs import QueryLog, build_query_log
+from .rdf import Graph, IRI, BlankNode, Literal, Triple, Variable
+from .sparql import parse_query, serialize_query
+from .workload import (
+    bib_schema,
+    generate_corpus,
+    generate_day_log,
+    generate_graph,
+    generate_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "canonical_graph",
+    "canonical_hypergraph",
+    "classify_fragments",
+    "classify_operators",
+    "classify_path",
+    "classify_shape",
+    "extract_features",
+    "find_streaks",
+    "hypertree_width",
+    "treewidth",
+    "CorpusStudy",
+    "study_corpus",
+    "IndexedEngine",
+    "NestedLoopEngine",
+    "EvaluationError",
+    "EvaluationTimeout",
+    "LogFormatError",
+    "ReproError",
+    "SparqlSyntaxError",
+    "WorkloadError",
+    "QueryLog",
+    "build_query_log",
+    "Graph",
+    "IRI",
+    "BlankNode",
+    "Literal",
+    "Triple",
+    "Variable",
+    "parse_query",
+    "serialize_query",
+    "bib_schema",
+    "generate_corpus",
+    "generate_day_log",
+    "generate_graph",
+    "generate_workload",
+    "__version__",
+]

@@ -1,0 +1,101 @@
+"""Query-log analytics: the paper's core contribution."""
+
+from .canonical import (
+    Hypergraph,
+    canonical_graph,
+    canonical_hypergraph,
+    collect_triples,
+    has_predicate_variable,
+)
+from .features import QueryFeatures, detect_projection, extract_features
+from .fragments import (
+    FragmentProfile,
+    classify_fragments,
+    is_aof,
+    is_cpf,
+    is_cq,
+    is_cqf,
+    is_simple_filter,
+)
+from .graphutil import Multigraph
+from .hypertree import HypertreeResult, hypertree_width
+from .operators import (
+    Operator,
+    OperatorClassification,
+    classify_operators,
+)
+from .property_paths import (
+    PathClassification,
+    classify_path,
+    in_ctract,
+    is_navigational,
+)
+from .shapes import ShapeProfile, classify_shape
+from .streak_metrics import StreakMetrics, compute_streak_metrics, keyword_evolution
+from .streaks import (
+    Streak,
+    StreakDetector,
+    find_streaks,
+    levenshtein,
+    queries_similar,
+    streak_length_histogram,
+    strip_prefixes,
+)
+from .treewidth import TreewidthResult, treewidth, treewidth_at_most_2
+from .welldesigned import (
+    PatternTreeNode,
+    build_pattern_tree,
+    interface_width,
+    is_well_designed,
+    to_binary_algebra,
+    tree_is_variable_connected,
+)
+
+__all__ = [
+    "StreakMetrics",
+    "compute_streak_metrics",
+    "keyword_evolution",
+    "Hypergraph",
+    "canonical_graph",
+    "canonical_hypergraph",
+    "collect_triples",
+    "has_predicate_variable",
+    "QueryFeatures",
+    "detect_projection",
+    "extract_features",
+    "FragmentProfile",
+    "classify_fragments",
+    "is_aof",
+    "is_cpf",
+    "is_cq",
+    "is_cqf",
+    "is_simple_filter",
+    "Multigraph",
+    "HypertreeResult",
+    "hypertree_width",
+    "Operator",
+    "OperatorClassification",
+    "classify_operators",
+    "PathClassification",
+    "classify_path",
+    "in_ctract",
+    "is_navigational",
+    "ShapeProfile",
+    "classify_shape",
+    "Streak",
+    "StreakDetector",
+    "find_streaks",
+    "levenshtein",
+    "queries_similar",
+    "streak_length_histogram",
+    "strip_prefixes",
+    "TreewidthResult",
+    "treewidth",
+    "treewidth_at_most_2",
+    "PatternTreeNode",
+    "build_pattern_tree",
+    "interface_width",
+    "is_well_designed",
+    "to_binary_algebra",
+    "tree_is_variable_connected",
+]

@@ -1,0 +1,219 @@
+"""Undirected multigraph used by the shape and width analyses.
+
+Canonical graphs of queries (paper §5) are *pseudographs*: they can have
+self-loops (a triple ``?x :p ?x``) and parallel edges (two triples
+between the same pair of nodes), and both matter for shape
+classification — e.g. two parallel edges form a cycle of length two.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict, deque
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["Multigraph"]
+
+Node = Hashable
+
+
+class Multigraph:
+    """An undirected multigraph with loops.
+
+    Nodes are arbitrary hashables.  Edges are unordered pairs stored
+    with multiplicity; ``add_edge(u, u)`` records a self-loop.
+    """
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[Node, Counter] = defaultdict(Counter)
+        self._loops: Counter = Counter()
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        self._adjacency[node]  # touch to create
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        if u == v:
+            self._adjacency[u]
+            self._loops[u] += 1
+        else:
+            self._adjacency[u][v] += 1
+            self._adjacency[v][u] += 1
+        self._edge_count += 1
+
+    def copy(self) -> "Multigraph":
+        clone = Multigraph()
+        for node in self._adjacency:
+            clone.add_node(node)
+        for u, v, multiplicity in self.edge_triples():
+            for _ in range(multiplicity):
+                clone.add_edge(u, v)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[Node]:
+        return list(self._adjacency)
+
+    def node_count(self) -> int:
+        return len(self._adjacency)
+
+    def edge_count(self) -> int:
+        """Total number of edges, counting multiplicity and loops."""
+        return self._edge_count
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._adjacency
+
+    def neighbors(self, node: Node) -> List[Node]:
+        """Distinct neighbors, excluding the node itself."""
+        return list(self._adjacency[node])
+
+    def multiplicity(self, u: Node, v: Node) -> int:
+        if u == v:
+            return self._loops[u]
+        return self._adjacency[u][v]
+
+    def loops_at(self, node: Node) -> int:
+        return self._loops[node]
+
+    def degree(self, node: Node) -> int:
+        """Degree with loops counted twice (graph-theory convention)."""
+        return sum(self._adjacency[node].values()) + 2 * self._loops[node]
+
+    def simple_degree(self, node: Node) -> int:
+        """Number of distinct neighbors (loops and multiplicity ignored)."""
+        return len(self._adjacency[node])
+
+    def edge_triples(self) -> Iterator[Tuple[Node, Node, int]]:
+        """Yield (u, v, multiplicity) once per unordered pair, plus
+        (u, u, loop-count) for loops."""
+        seen: Set[FrozenSet[Node]] = set()
+        for u, counter in self._adjacency.items():
+            for v, multiplicity in counter.items():
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    yield u, v, multiplicity
+        for node, loops in self._loops.items():
+            if loops:
+                yield node, node, loops
+
+    def has_loops(self) -> bool:
+        return any(count > 0 for count in self._loops.values())
+
+    def has_parallel_edges(self) -> bool:
+        return any(
+            multiplicity > 1
+            for u, v, multiplicity in self.edge_triples()
+            if u != v
+        )
+
+    def is_simple(self) -> bool:
+        return not self.has_loops() and not self.has_parallel_edges()
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    def connected_components(self) -> List[Set[Node]]:
+        remaining = set(self._adjacency)
+        components: List[Set[Node]] = []
+        while remaining:
+            start = next(iter(remaining))
+            component = {start}
+            queue = deque([start])
+            while queue:
+                node = queue.popleft()
+                for neighbor in self._adjacency[node]:
+                    if neighbor not in component:
+                        component.add(neighbor)
+                        queue.append(neighbor)
+            components.append(component)
+            remaining -= component
+        return components
+
+    def is_connected(self) -> bool:
+        if not self._adjacency:
+            return True
+        return len(self.connected_components()) == 1
+
+    def induced_subgraph(self, nodes: Iterable[Node]) -> "Multigraph":
+        node_set = set(nodes)
+        sub = Multigraph()
+        for node in node_set:
+            sub.add_node(node)
+            for _ in range(self._loops[node]):
+                sub.add_edge(node, node)
+        seen: Set[FrozenSet[Node]] = set()
+        for u in node_set:
+            for v, multiplicity in self._adjacency[u].items():
+                if v in node_set:
+                    key = frozenset((u, v))
+                    if key not in seen:
+                        seen.add(key)
+                        for _ in range(multiplicity):
+                            sub.add_edge(u, v)
+        return sub
+
+    def remove_node(self, node: Node) -> "Multigraph":
+        """Return a copy with *node* (and incident edges) removed."""
+        return self.induced_subgraph(set(self._adjacency) - {node})
+
+    def simple_graph(self) -> Dict[Node, Set[Node]]:
+        """Plain adjacency sets: loops dropped, multiplicity flattened."""
+        return {
+            node: set(counter)
+            for node, counter in self._adjacency.items()
+        }
+
+    def is_acyclic_simple(self) -> bool:
+        """True when the graph is a simple forest (no loops, no
+        parallel edges, no cycles)."""
+        if self.has_loops() or self.has_parallel_edges():
+            return False
+        # A simple graph is a forest iff every component has |E| = |V|-1.
+        for component in self.connected_components():
+            edges = sum(
+                1
+                for u, v, _ in self.edge_triples()
+                if u in component and v in component and u != v
+            )
+            if edges != len(component) - 1:
+                return False
+        return True
+
+    def girth(self) -> Optional[int]:
+        """Length of the shortest cycle; ``None`` if acyclic.
+
+        Self-loops have girth 1 and parallel edges girth 2.
+        """
+        if self.has_loops():
+            return 1
+        if self.has_parallel_edges():
+            return 2
+        best: Optional[int] = None
+        adjacency = self.simple_graph()
+        for start in adjacency:
+            # BFS from start; a non-tree edge closing at depths d1, d2
+            # witnesses a cycle of length d1 + d2 + 1.
+            distance = {start: 0}
+            parent = {start: None}
+            queue = deque([start])
+            while queue:
+                node = queue.popleft()
+                for neighbor in adjacency[node]:
+                    if neighbor not in distance:
+                        distance[neighbor] = distance[node] + 1
+                        parent[neighbor] = node
+                        queue.append(neighbor)
+                    elif parent[node] != neighbor:
+                        cycle_length = distance[node] + distance[neighbor] + 1
+                        if best is None or cycle_length < best:
+                            best = cycle_length
+        return best
+
+    def __repr__(self) -> str:
+        return f"Multigraph(nodes={self.node_count()}, edges={self.edge_count()})"

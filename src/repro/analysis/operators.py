@@ -1,0 +1,145 @@
+"""Operator-set classification of query bodies (paper §4.3, Table 3).
+
+For each Select/Ask query the paper asks: which operators from
+O = {And, Filter, Opt, Graph, Union} does the body use — and does it
+use *only* constructs built from those operators (plus triple
+patterns)?  Queries whose body uses anything else (property paths,
+Bind, Minus, subqueries, …) fall into an "other features" bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import FrozenSet, Optional, Tuple
+
+from ..sparql import ast, walk
+
+__all__ = [
+    "Operator",
+    "OperatorClassification",
+    "classify_operators",
+    "OPERATOR_LETTERS",
+    "TABLE3_ROWS",
+]
+
+
+class Operator(str, Enum):
+    """The five operators of the paper's set O, with their letters."""
+
+    AND = "A"
+    FILTER = "F"
+    OPT = "O"
+    GRAPH = "G"
+    UNION = "U"
+
+
+OPERATOR_LETTERS = {
+    Operator.AND: "A",
+    Operator.FILTER: "F",
+    Operator.OPT: "O",
+    Operator.GRAPH: "G",
+    Operator.UNION: "U",
+}
+
+#: The operator sets that get their own row in Table 3, in paper order.
+#: (frozensets of letters; "none" is the empty set.)
+TABLE3_ROWS: Tuple[FrozenSet[str], ...] = (
+    frozenset(),
+    frozenset("F"),
+    frozenset("A"),
+    frozenset("AF"),
+    frozenset("O"),
+    frozenset("OF"),
+    frozenset("AO"),
+    frozenset("AOF"),
+    frozenset("G"),
+    frozenset("U"),
+    frozenset("UF"),
+    frozenset("AU"),
+    frozenset("AUF"),
+    frozenset("AOUF"),
+)
+
+
+@dataclass(frozen=True)
+class OperatorClassification:
+    """Result of classifying one query body.
+
+    *operators* is the set of O-operators present; *pure* is True when
+    the body uses only triple patterns and operators from O.  A query
+    counts toward a Table 3 row only when it is pure.
+    """
+
+    operators: FrozenSet[Operator]
+    pure: bool
+
+    @property
+    def letters(self) -> FrozenSet[str]:
+        return frozenset(OPERATOR_LETTERS[op] for op in self.operators)
+
+    def is_cpf(self) -> bool:
+        """Conjunctive pattern with filters (Definition 4.1): pure and
+        uses only And/Filter (or nothing)."""
+        return self.pure and self.operators <= {Operator.AND, Operator.FILTER}
+
+    def in_cpf_plus(self, extra: Operator) -> bool:
+        """Pure, uses *extra*, and otherwise only And/Filter (the
+        paper's CPF+O / CPF+G / CPF+U increments)."""
+        return (
+            self.pure
+            and extra in self.operators
+            and self.operators <= {Operator.AND, Operator.FILTER, extra}
+        )
+
+
+def classify_operators(query: ast.Query) -> OperatorClassification:
+    """Classify the body of *query* (Table 3 semantics).
+
+    A body-less query is pure with an empty operator set ("none" in
+    Table 3 includes queries without a body).
+    """
+    operators = set()
+    pure = True
+    for node in walk.iter_patterns(query.pattern, enter_subqueries=False):
+        if isinstance(node, ast.TriplePattern):
+            continue
+        if isinstance(node, ast.GroupPattern):
+            if _joins(node):
+                operators.add(Operator.AND)
+        elif isinstance(node, ast.FilterPattern):
+            operators.add(Operator.FILTER)
+            if _filter_has_exotic_parts(node.expression):
+                pure = False
+        elif isinstance(node, ast.OptionalPattern):
+            operators.add(Operator.OPT)
+        elif isinstance(node, ast.GraphGraphPattern):
+            operators.add(Operator.GRAPH)
+        elif isinstance(node, ast.UnionPattern):
+            operators.add(Operator.UNION)
+        else:
+            # PathPattern, BindPattern, ValuesPattern, MinusPattern,
+            # ServicePattern, SubSelectPattern: outside of O.
+            pure = False
+    return OperatorClassification(frozenset(operators), pure)
+
+
+def _joins(group: ast.GroupPattern) -> bool:
+    non_filter = 0
+    for element in group.elements:
+        if not isinstance(element, ast.FilterPattern):
+            non_filter += 1
+            if non_filter >= 2:
+                return True
+    return False
+
+
+def _filter_has_exotic_parts(expression: ast.Expression) -> bool:
+    """EXISTS / NOT EXISTS inside a filter embeds patterns, which takes
+    the query outside the plain O-operator fragment."""
+    for node in walk.iter_expressions(expression):
+        if isinstance(node, ast.ExistsExpression):
+            return True
+        if isinstance(node, ast.Aggregate):
+            return True
+    return False

@@ -1,0 +1,21 @@
+"""Projection detection (paper §4.4) — re-exported for discoverability.
+
+The implementation lives in :mod:`repro.analysis.features` because the
+shallow feature pass computes it alongside the keyword set; this module
+gives the §4.4 analysis its own import path and documents the rules.
+
+Per SPARQL 1.1 rec §18.2.1 (as interpreted by the paper):
+
+* ``SELECT *`` never projects;
+* a Select query projects iff its selected variables are a strict
+  subset of the body's in-scope variables;
+* an Ask query "uses projection" iff it binds at least one variable —
+  most Ask queries in the logs test a concrete triple and do not;
+* when the only unselected variables come from ``BIND``, the verdict is
+  indeterminate (``None``) — the paper bounds projection usage between
+  14.98% and 16.28% because of exactly this case.
+"""
+
+from .features import detect_projection
+
+__all__ = ["detect_projection"]

@@ -1,0 +1,314 @@
+"""Property-path taxonomy and tractability (paper §7, Table 5).
+
+The paper classifies the *navigational* property paths of the corpus —
+those that do more than follow one edge — into the expression types of
+Table 5, treating ``^a`` and ``!a`` like plain letters inside larger
+expressions, and folding each type with its symmetric form (``a*/b``
+covers ``b/a*``).
+
+It also checks membership in Ctract, the class of expressions whose
+evaluation under *simple path* semantics is tractable (Bagan et al.,
+PODS 2013).  We implement the sufficient condition that matches every
+expression type the corpus contains: every ``*``/``+`` loop must range
+over single letters (a letter, or an alternation of letters, optionally
+with ``?``).  Under this test ``(a/b)*`` — the paper's single non-Ctract
+find — is intractable and all other Table 5 types are tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..sparql import ast
+
+__all__ = [
+    "PathClassification",
+    "classify_path",
+    "is_navigational",
+    "in_ctract",
+    "PATH_TYPE_ORDER",
+]
+
+#: Row order of Table 5.
+PATH_TYPE_ORDER = (
+    "(a1|...|ak)*",
+    "a*",
+    "a1/.../ak",
+    "a*/b",
+    "a1|...|ak",
+    "a+",
+    "a1?/.../ak?",
+    "a(b1|...|bk)",
+    "a1/a2?/.../ak?",
+    "(a/b*)|c",
+    "a*/b?",
+    "a/b/c*",
+    "!(a|b)",
+    "(a1|...|ak)+",
+    "(a1|...|ak)(a1|...|ak)",
+    "a?|b",
+    "a*|b",
+    "(a|b)?",
+    "a|b+",
+    "a+|b+",
+    "(a/b)*",
+    "other",
+)
+
+
+@dataclass(frozen=True)
+class PathClassification:
+    """Taxonomy bucket, arity k (when meaningful), simplicity flags."""
+
+    expression_type: str
+    k: Optional[int]
+    navigational: bool
+    ctract: bool
+    #: "!a" / "^a" / None — set for the two simple non-navigational forms.
+    simple_form: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Atom handling: ^a and !a are treated like letters inside larger
+# expressions (the paper's convention).
+# ---------------------------------------------------------------------------
+
+
+def _is_atom(path: ast.Path) -> bool:
+    if isinstance(path, ast.PathIRI):
+        return True
+    if isinstance(path, ast.PathInverse) and isinstance(path.path, ast.PathIRI):
+        return True
+    if isinstance(path, ast.PathNegated):
+        return len(path.forward) + len(path.inverse) == 1
+    return False
+
+
+def _is_optional_atom(path: ast.Path) -> bool:
+    return (
+        isinstance(path, ast.PathMod)
+        and path.modifier == "?"
+        and _is_atom(path.path)
+    )
+
+
+def _is_starred_atom(path: ast.Path) -> bool:
+    return (
+        isinstance(path, ast.PathMod)
+        and path.modifier == "*"
+        and _is_atom(path.path)
+    )
+
+
+def _is_plus_atom(path: ast.Path) -> bool:
+    return (
+        isinstance(path, ast.PathMod)
+        and path.modifier == "+"
+        and _is_atom(path.path)
+    )
+
+
+def _is_atom_alternative(path: ast.Path) -> bool:
+    return isinstance(path, ast.PathAlternative) and all(
+        _is_atom(option) for option in path.options
+    )
+
+
+def is_navigational(path: ast.Path) -> bool:
+    """Everything except the simple forms ``!a`` and ``^a``.
+
+    (A bare letter ``a`` never reaches this module: the parser folds it
+    into an ordinary triple pattern.)
+    """
+    if isinstance(path, ast.PathNegated):
+        return len(path.forward) + len(path.inverse) != 1 or bool(path.inverse)
+    if isinstance(path, ast.PathInverse) and isinstance(path.path, ast.PathIRI):
+        return False
+    if isinstance(path, ast.PathIRI):
+        return False
+    return True
+
+
+def _simple_form(path: ast.Path) -> Optional[str]:
+    if isinstance(path, ast.PathNegated):
+        if len(path.forward) == 1 and not path.inverse:
+            return "!a"
+    if isinstance(path, ast.PathInverse) and isinstance(path.path, ast.PathIRI):
+        return "^a"
+    if isinstance(path, ast.PathIRI):
+        return "a"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Ctract (sufficient condition)
+# ---------------------------------------------------------------------------
+
+
+def in_ctract(path: ast.Path) -> bool:
+    """Sufficient tractability test: all ``*``/``+`` loops range over
+    single letters (atoms, alternations of atoms, or those with ``?``)."""
+    if isinstance(path, ast.PathMod):
+        if path.modifier in ("*", "+"):
+            return _loop_body_is_letterlike(path.path) and in_ctract(path.path)
+        return in_ctract(path.path)
+    if isinstance(path, ast.PathSequence):
+        return all(in_ctract(step) for step in path.steps)
+    if isinstance(path, ast.PathAlternative):
+        return all(in_ctract(option) for option in path.options)
+    if isinstance(path, ast.PathInverse):
+        return in_ctract(path.path)
+    return True  # atoms and negated sets
+
+
+def _loop_body_is_letterlike(path: ast.Path) -> bool:
+    """Does *path* denote only words of length ≤ 1?"""
+    if _is_atom(path):
+        return True
+    if isinstance(path, ast.PathMod) and path.modifier == "?":
+        return _loop_body_is_letterlike(path.path)
+    if isinstance(path, ast.PathAlternative):
+        return all(_loop_body_is_letterlike(option) for option in path.options)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Taxonomy
+# ---------------------------------------------------------------------------
+
+
+def classify_path(path: ast.Path) -> PathClassification:
+    """Classify *path* into its Table 5 expression type."""
+    simple = _simple_form(path)
+    if simple in ("!a", "^a", "a"):
+        return PathClassification(
+            expression_type=simple if simple != "a" else "a",
+            k=None,
+            navigational=False,
+            ctract=True,
+            simple_form=simple,
+        )
+    expression_type, k = _taxonomy(path)
+    return PathClassification(
+        expression_type=expression_type,
+        k=k,
+        navigational=True,
+        ctract=in_ctract(path),
+    )
+
+
+def _taxonomy(path: ast.Path) -> Tuple[str, Optional[int]]:
+    # Starred / plus / optional alternations and atoms.
+    if isinstance(path, ast.PathMod):
+        body = path.path
+        if path.modifier == "*":
+            if _is_atom(body):
+                return "a*", None
+            if _is_atom_alternative(body):
+                return "(a1|...|ak)*", len(body.options)
+            if isinstance(body, ast.PathSequence) and all(
+                _is_atom(step) for step in body.steps
+            ):
+                return "(a/b)*", len(body.steps)
+        elif path.modifier == "+":
+            if _is_atom(body):
+                return "a+", None
+            if _is_atom_alternative(body):
+                return "(a1|...|ak)+", len(body.options)
+        elif path.modifier == "?":
+            if _is_atom_alternative(body) and len(body.options) == 2:
+                return "(a|b)?", None
+    # Sequences.
+    if isinstance(path, ast.PathSequence):
+        return _classify_sequence(path.steps)
+    # Alternatives.
+    if isinstance(path, ast.PathAlternative):
+        return _classify_alternative(path.options)
+    # Negated sets with several members.
+    if isinstance(path, ast.PathNegated):
+        members = len(path.forward) + len(path.inverse)
+        if members >= 2:
+            return "!(a|b)", members
+    return "other", None
+
+
+def _classify_sequence(steps: Tuple[ast.Path, ...]) -> Tuple[str, Optional[int]]:
+    k = len(steps)
+    atoms = [_is_atom(step) for step in steps]
+    optionals = [_is_optional_atom(step) for step in steps]
+    stars = [_is_starred_atom(step) for step in steps]
+
+    if all(atoms):
+        return "a1/.../ak", k
+    if all(optionals):
+        return "a1?/.../ak?", k
+    # a*/b and b/a* (one star, one atom).
+    if k == 2:
+        if (stars[0] and atoms[1]) or (atoms[0] and stars[1]):
+            return "a*/b", None
+        if (stars[0] and optionals[1]) or (optionals[0] and stars[1]):
+            return "a*/b?", None
+        if atoms[0] and _is_atom_alternative(steps[1]):
+            return "a(b1|...|bk)", len(steps[1].options)
+        if _is_atom_alternative(steps[0]) and _is_atom_alternative(steps[1]):
+            if _alternative_letters(steps[0]) == _alternative_letters(steps[1]):
+                return "(a1|...|ak)(a1|...|ak)", len(steps[0].options)
+    # a1/a2?/.../ak? — a literal head followed by only optionals
+    # (symmetric form: optionals then a literal tail).
+    if atoms[0] and all(optionals[1:]) and k >= 2:
+        return "a1/a2?/.../ak?", k
+    if atoms[-1] and all(optionals[:-1]) and k >= 2:
+        return "a1/a2?/.../ak?", k
+    # a/b/c* and symmetric c*/a/b.
+    if k == 3:
+        if atoms[0] and atoms[1] and stars[2]:
+            return "a/b/c*", None
+        if stars[0] and atoms[1] and atoms[2]:
+            return "a/b/c*", None
+    return "other", None
+
+
+def _alternative_letters(path: ast.Path) -> frozenset:
+    assert isinstance(path, ast.PathAlternative)
+    letters = []
+    for option in path.options:
+        if isinstance(option, ast.PathIRI):
+            letters.append(("f", option.iri.value))
+        elif isinstance(option, ast.PathInverse) and isinstance(
+            option.path, ast.PathIRI
+        ):
+            letters.append(("i", option.path.iri.value))
+        elif isinstance(option, ast.PathNegated):
+            letters.append(("n", option.forward, option.inverse))
+    return frozenset(letters)
+
+
+def _classify_alternative(
+    options: Tuple[ast.Path, ...]
+) -> Tuple[str, Optional[int]]:
+    k = len(options)
+    if all(_is_atom(option) for option in options):
+        return "a1|...|ak", k
+    if k == 2:
+        first, second = options
+        # Normalize symmetric forms: sort so the "decorated" side is first.
+        pairs = [(first, second), (second, first)]
+        for left, right in pairs:
+            if _is_optional_atom(left) and _is_atom(right):
+                return "a?|b", None
+            if _is_starred_atom(left) and _is_atom(right):
+                return "a*|b", None
+            if _is_plus_atom(left) and _is_atom(right):
+                return "a|b+", None
+            if (
+                isinstance(left, ast.PathSequence)
+                and len(left.steps) == 2
+                and _is_atom(left.steps[0])
+                and _is_starred_atom(left.steps[1])
+                and _is_atom(right)
+            ):
+                return "(a/b*)|c", None
+        if all(_is_plus_atom(option) for option in options):
+            return "a+|b+", None
+    return "other", None

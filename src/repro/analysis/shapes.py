@@ -1,0 +1,292 @@
+"""Shape classification of canonical graphs (paper §6.1, Table 4).
+
+Implements the paper's shape taxonomy over pseudographs:
+
+* **single edge** — one edge between two distinct nodes;
+* **chain** — a path graph (a single edge is a chain of length 1);
+* **chain set** — every connected component is a chain;
+* **star** — a tree with exactly one node of degree ≥ 3;
+* **tree** — connected, simple, acyclic;
+* **forest** — every component is a tree;
+* **cycle** — a single (multigraph) cycle; parallel edges form a cycle
+  of length 2 and a self-loop one of length 1;
+* **petal** (Definition 6.1) — two nodes s, t joined by ≥ 2 internally
+  node-disjoint paths (a cycle is a petal);
+* **flower** (Definition 6.1) — a node x with chain attachments
+  (*stamens*), tree attachments (*stems*), and petal attachments
+  (all petals rooted at x); every tree is a flower (zero petals);
+* **flower set** — every component is a flower.
+
+These predicates are arranged exactly so Table 4's rows are cumulative:
+single edge ⊆ chain ⊆ chain set ⊆ flower set, star ⊆ tree ⊆ forest ⊆
+flower set, cycle ⊆ petal ⊆ flower ⊆ flower set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from .graphutil import Multigraph
+
+__all__ = [
+    "ShapeProfile",
+    "classify_shape",
+    "is_single_edge",
+    "is_chain",
+    "is_chain_set",
+    "is_star",
+    "is_tree",
+    "is_forest",
+    "is_cycle",
+    "is_petal",
+    "is_flower",
+    "is_flower_set",
+    "SHAPE_ORDER",
+]
+
+#: Row order of Table 4.
+SHAPE_ORDER = (
+    "single edge",
+    "chain",
+    "chain set",
+    "star",
+    "tree",
+    "forest",
+    "cycle",
+    "flower",
+    "flower set",
+)
+
+
+def is_single_edge(graph: Multigraph) -> bool:
+    return (
+        graph.edge_count() == 1
+        and graph.node_count() == 2
+        and not graph.has_loops()
+    )
+
+
+def is_chain(graph: Multigraph) -> bool:
+    """A path graph.  A single node without edges counts as a trivial
+    chain (length 0); this only matters for constants-excluded graphs."""
+    if not graph.is_connected():
+        return False
+    if graph.has_loops() or graph.has_parallel_edges():
+        return False
+    if graph.node_count() <= 1:
+        return graph.edge_count() == 0
+    degrees = [graph.simple_degree(node) for node in graph.nodes()]
+    if any(degree > 2 for degree in degrees):
+        return False
+    endpoints = sum(1 for degree in degrees if degree == 1)
+    # A connected, max-degree-2, simple graph is a path iff it has two
+    # endpoints (otherwise it is a cycle).
+    return endpoints == 2
+
+
+def is_chain_set(graph: Multigraph) -> bool:
+    return all(
+        is_chain(graph.induced_subgraph(component))
+        for component in graph.connected_components()
+    )
+
+
+def is_tree(graph: Multigraph) -> bool:
+    if not graph.is_connected():
+        return False
+    if graph.node_count() == 0:
+        return True
+    return graph.is_acyclic_simple()
+
+
+def is_forest(graph: Multigraph) -> bool:
+    return graph.is_acyclic_simple()
+
+
+def is_star(graph: Multigraph) -> bool:
+    """A tree with exactly one node having more than two neighbors."""
+    if not is_tree(graph):
+        return False
+    centers = sum(
+        1 for node in graph.nodes() if graph.simple_degree(node) >= 3
+    )
+    return centers == 1
+
+
+def is_cycle(graph: Multigraph) -> bool:
+    """A single closed walk visiting every node: connected with every
+    node of (multigraph) degree exactly 2 and |E| = |V|."""
+    if graph.node_count() == 0:
+        return False
+    if not graph.is_connected():
+        return False
+    if graph.node_count() == 1:
+        return graph.loops_at(graph.nodes()[0]) == 1 and graph.edge_count() == 1
+    return (
+        all(graph.degree(node) == 2 for node in graph.nodes())
+        and graph.edge_count() == graph.node_count()
+    )
+
+
+def is_petal(graph: Multigraph) -> bool:
+    """s and t joined by at least two internally node-disjoint paths."""
+    return _petal_endpoints(graph) is not None
+
+
+def _petal_endpoints(graph: Multigraph) -> Optional[Set]:
+    """Return {s, t} when the graph is a petal (all nodes of a cycle
+    when it is one), else None."""
+    if graph.node_count() < 2 or not graph.is_connected():
+        return None
+    if graph.has_loops():
+        return None
+    exceptional = [
+        node for node in graph.nodes() if graph.degree(node) != 2
+    ]
+    if not exceptional:
+        # A plain cycle: any two nodes work as s/t.
+        if graph.edge_count() == graph.node_count():
+            return set(graph.nodes())
+        return None
+    if len(exceptional) != 2:
+        return None
+    s, t = exceptional
+    p = graph.degree(s)
+    if graph.degree(t) != p or p < 3:
+        return None
+    # Every maximal degree-2 path must run from s to t (no s–s or t–t
+    # lobes), and together with direct s–t edges there must be p paths.
+    direct = graph.multiplicity(s, t)
+    interior = graph.induced_subgraph(set(graph.nodes()) - {s, t})
+    path_count = direct
+    for component in interior.connected_components():
+        component_graph = interior.induced_subgraph(component)
+        if not is_chain(component_graph):
+            return None
+        attachments_s = sum(
+            graph.multiplicity(node, s) for node in component
+        )
+        attachments_t = sum(
+            graph.multiplicity(node, t) for node in component
+        )
+        if attachments_s != 1 or attachments_t != 1:
+            return None
+        path_count += 1
+    if path_count != p:
+        return None
+    return {s, t}
+
+
+def is_flower(graph: Multigraph) -> bool:
+    """Is there a core x making every attachment a chain, tree or petal
+    rooted at x?  Trees are flowers; so are cycles (x on the cycle)."""
+    if graph.node_count() == 0:
+        return True
+    if not graph.is_connected():
+        return False
+    if is_tree(graph):
+        return True
+    for core in graph.nodes():
+        if _is_flower_with_core(graph, core):
+            return True
+    return False
+
+
+def _is_flower_with_core(graph: Multigraph, core) -> bool:
+    # Loops directly at the core are length-1 petals: strip them before
+    # examining attachments (they would otherwise spoil every test).
+    rest = graph.remove_node(core)
+    for component in rest.connected_components():
+        attachment = _attachment_without_core_loops(graph, component, core)
+        if attachment.is_acyclic_simple():
+            continue  # stamen (chain) or stem (tree)
+        endpoints = _petal_endpoints(attachment)
+        if endpoints is not None and core in endpoints:
+            continue  # petal rooted at the core
+        return False
+    return True
+
+
+def _attachment_without_core_loops(
+    graph: Multigraph, component: Set, core
+) -> Multigraph:
+    attachment = Multigraph()
+    nodes = set(component) | {core}
+    for node in nodes:
+        attachment.add_node(node)
+        if node != core:
+            for _ in range(graph.loops_at(node)):
+                attachment.add_edge(node, node)
+    seen = set()
+    for u in nodes:
+        for v in graph.neighbors(u):
+            if v in nodes and u != v:
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    for _ in range(graph.multiplicity(u, v)):
+                        attachment.add_edge(u, v)
+    return attachment
+
+
+def is_flower_set(graph: Multigraph) -> bool:
+    return all(
+        is_flower(graph.induced_subgraph(component))
+        for component in graph.connected_components()
+    )
+
+
+@dataclass(frozen=True)
+class ShapeProfile:
+    """Membership in each Table 4 shape class, plus the girth."""
+
+    single_edge: bool
+    chain: bool
+    chain_set: bool
+    star: bool
+    tree: bool
+    forest: bool
+    cycle: bool
+    flower: bool
+    flower_set: bool
+    #: Length of the shortest cycle; None when acyclic (§6.1).
+    shortest_cycle: Optional[int]
+
+    def as_dict(self) -> Dict[str, bool]:
+        return {
+            "single edge": self.single_edge,
+            "chain": self.chain,
+            "chain set": self.chain_set,
+            "star": self.star,
+            "tree": self.tree,
+            "forest": self.forest,
+            "cycle": self.cycle,
+            "flower": self.flower,
+            "flower set": self.flower_set,
+        }
+
+
+def classify_shape(graph: Multigraph) -> ShapeProfile:
+    """Classify *graph* into every shape class of Table 4 at once."""
+    single = is_single_edge(graph)
+    chain = single or is_chain(graph)
+    tree = chain or is_tree(graph)
+    chain_set = chain or is_chain_set(graph)
+    forest = tree or chain_set or is_forest(graph)
+    star = is_star(graph)
+    cycle = is_cycle(graph)
+    flower = tree or cycle or is_flower(graph)
+    flower_set = flower or forest or is_flower_set(graph)
+    return ShapeProfile(
+        single_edge=single,
+        chain=chain,
+        chain_set=chain_set,
+        star=star,
+        tree=tree,
+        forest=forest,
+        cycle=cycle,
+        flower=flower,
+        flower_set=flower_set,
+        shortest_cycle=graph.girth(),
+    )

@@ -1,0 +1,97 @@
+"""Refined streak metrics (paper §8's stated future work).
+
+The paper measures only streak *lengths* and notes that "more complex
+metrics on the similarity of the queries within each streak" are future
+work.  This module implements the natural candidates:
+
+* **step distances** — normalized Levenshtein between consecutive
+  streak members (how big each refinement step was);
+* **drift** — normalized distance between the first and last member
+  (how far the query traveled overall; low drift with many steps means
+  the user circled, high drift means directed refinement);
+* **span** — log positions covered, and **density** — members per
+  position (1.0 = perfectly consecutive);
+* **keyword evolution** — which query-form/modifier keywords appeared
+  or disappeared between the seed and the final query (e.g. the paper's
+  hypothesis that ORDER BY shows up late in the "development process").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from .streaks import Streak, levenshtein, strip_prefixes
+
+__all__ = ["StreakMetrics", "compute_streak_metrics", "keyword_evolution"]
+
+_KEYWORD_RE = re.compile(
+    r"\b(SELECT|ASK|CONSTRUCT|DESCRIBE|DISTINCT|LIMIT|OFFSET|ORDER|GROUP|"
+    r"HAVING|FILTER|OPTIONAL|UNION|GRAPH|MINUS)\b",
+    re.IGNORECASE,
+)
+
+
+def _normalized_distance(a: str, b: str) -> float:
+    stripped_a, stripped_b = strip_prefixes(a), strip_prefixes(b)
+    longest = max(len(stripped_a), len(stripped_b))
+    if longest == 0:
+        return 0.0
+    distance = levenshtein(stripped_a, stripped_b)
+    assert distance is not None
+    return distance / longest
+
+
+def _surface_keywords(text: str) -> Set[str]:
+    return {m.group(1).upper() for m in _KEYWORD_RE.finditer(text)}
+
+
+@dataclass(frozen=True)
+class StreakMetrics:
+    """Summary metrics of one streak against its source log."""
+
+    length: int
+    span: int  # last position - first position + 1
+    density: float  # length / span
+    drift: float  # normalized distance first->last
+    mean_step: float  # mean normalized distance between neighbors
+    max_step: float
+    keywords_added: Tuple[str, ...]
+    keywords_removed: Tuple[str, ...]
+
+    @property
+    def is_directed(self) -> bool:
+        """Directed refinement: the query moved further overall than
+        its average single step (it did not just oscillate)."""
+        return self.drift >= self.mean_step
+
+
+def compute_streak_metrics(
+    streak: Streak, log: Sequence[str]
+) -> StreakMetrics:
+    """Compute :class:`StreakMetrics` for *streak* over its *log*."""
+    texts = [log[index] for index in streak.indices]
+    steps = [
+        _normalized_distance(a, b) for a, b in zip(texts, texts[1:])
+    ]
+    drift = _normalized_distance(texts[0], texts[-1]) if len(texts) > 1 else 0.0
+    added, removed = keyword_evolution(texts[0], texts[-1])
+    span = streak.indices[-1] - streak.indices[0] + 1
+    return StreakMetrics(
+        length=len(texts),
+        span=span,
+        density=len(texts) / span,
+        drift=drift,
+        mean_step=sum(steps) / len(steps) if steps else 0.0,
+        max_step=max(steps) if steps else 0.0,
+        keywords_added=added,
+        keywords_removed=removed,
+    )
+
+
+def keyword_evolution(first: str, last: str) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Keywords present at the end but not the start, and vice versa."""
+    start = _surface_keywords(first)
+    end = _surface_keywords(last)
+    return tuple(sorted(end - start)), tuple(sorted(start - end))

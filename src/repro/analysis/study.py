@@ -1,0 +1,377 @@
+"""Corpus-wide study driver: every measurement of the paper, one pass.
+
+:func:`study_corpus` takes the processed :class:`~repro.logs.QueryLog`
+objects and computes, per dataset and aggregated:
+
+* Table 1 counters (carried through from the pipeline);
+* Table 2 / Table 7 keyword counts;
+* Figure 1 / Figure 8 triple-count histograms, S/A shares, Avg#T;
+* Table 3 / Table 8 operator-set distribution with CPF subtotals;
+* §4.4 subquery and projection statistics;
+* §5.2 fragment sizes (AOF, CQ, CQF, well-designed, CQOF);
+* Figure 5 / Figure 9 CQ-like size histograms;
+* Table 4 / Table 9 cumulative shape analysis with treewidth rows;
+* §6.1 shortest-cycle histogram and the constants rerun;
+* §6.2 hypertree widths of predicate-variable queries;
+* Table 5 / Figure 10 property-path taxonomy with Ctract outliers.
+
+``dedup=True`` analyses the Unique corpus (paper main body);
+``dedup=False`` weights every query by its multiplicity (the appendix's
+Valid corpus).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..logs.pipeline import ParsedQuery, QueryLog
+from ..sparql import ast, walk
+from .canonical import canonical_graph, canonical_hypergraph, has_predicate_variable
+from .features import KEYWORD_ORDER, extract_features
+from .fragments import classify_fragments
+from .hypertree import hypertree_width
+from .operators import TABLE3_ROWS, classify_operators
+from .property_paths import classify_path
+from .shapes import SHAPE_ORDER, classify_shape
+from .treewidth import treewidth
+
+__all__ = ["DatasetStats", "CorpusStudy", "study_corpus"]
+
+#: Shape analysis is skipped for pathological graphs above this size —
+#: the classifier is polynomial but flower detection tries every core.
+_SHAPE_NODE_LIMIT = 400
+
+
+@dataclass
+class DatasetStats:
+    """Per-dataset accumulators (Figure 1 needs per-dataset numbers)."""
+
+    name: str
+    total: int = 0
+    valid: int = 0
+    unique: int = 0
+    queries: int = 0  # analyzed stream size (unique or valid)
+    select_ask: int = 0
+    triple_hist: Counter = field(default_factory=Counter)  # per S/A query
+    triple_sum: int = 0  # over ALL queries (Avg#T is corpus-wide)
+    keyword_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def select_ask_share(self) -> float:
+        return self.select_ask / self.queries if self.queries else 0.0
+
+    @property
+    def average_triples(self) -> float:
+        return self.triple_sum / self.queries if self.queries else 0.0
+
+    def triple_hist_percentages(self) -> Dict[str, float]:
+        """Figure 1 buckets: '0'..'10' and '11+' as % of S/A queries."""
+        buckets: Dict[str, float] = {}
+        if not self.select_ask:
+            return {str(i): 0.0 for i in range(11)} | {"11+": 0.0}
+        for i in range(11):
+            buckets[str(i)] = 100.0 * self.triple_hist.get(i, 0) / self.select_ask
+        over = sum(count for size, count in self.triple_hist.items() if size >= 11)
+        buckets["11+"] = 100.0 * over / self.select_ask
+        return buckets
+
+
+@dataclass
+class CorpusStudy:
+    """Aggregated results over the whole corpus."""
+
+    dedup: bool = True
+    datasets: Dict[str, DatasetStats] = field(default_factory=dict)
+
+    # Shallow analysis
+    keyword_counts: Counter = field(default_factory=Counter)
+    query_count: int = 0
+    select_ask_count: int = 0
+    no_body_count: int = 0
+
+    # Operator sets (Select/Ask only)
+    operator_sets: Counter = field(default_factory=Counter)  # frozenset->n
+    operator_other_combination: int = 0
+    operator_other_features: int = 0
+
+    # §4.4
+    subquery_count: int = 0
+    projection_true: int = 0
+    projection_indeterminate: int = 0
+    ask_projection: int = 0
+
+    # §5.2 fragments (of Select/Ask)
+    aof_count: int = 0
+    cq_count: int = 0
+    cqf_count: int = 0
+    cqof_count: int = 0
+    well_designed_count: int = 0
+    wide_interface_count: int = 0  # well-designed, simple filters, iw > 1
+
+    # Figure 5: sizes of CQ-like queries (triples >= 1)
+    cq_sizes: Counter = field(default_factory=Counter)
+    cqf_sizes: Counter = field(default_factory=Counter)
+    cqof_sizes: Counter = field(default_factory=Counter)
+
+    # Table 4: cumulative shape counts per fragment
+    shape_counts: Dict[str, Counter] = field(
+        default_factory=lambda: {"CQ": Counter(), "CQF": Counter(), "CQOF": Counter()}
+    )
+    shape_totals: Counter = field(default_factory=Counter)  # fragment -> n
+    treewidth_counts: Dict[str, Counter] = field(
+        default_factory=lambda: {"CQ": Counter(), "CQF": Counter(), "CQOF": Counter()}
+    )
+    girth_hist: Counter = field(default_factory=Counter)
+    single_edge_cq: int = 0
+    single_edge_cq_with_constants: int = 0
+
+    # §6.2 hypergraphs (predicate-variable CQOF queries)
+    predicate_variable_cqof: int = 0
+    hypertree_widths: Counter = field(default_factory=Counter)
+    decomposition_nodes: Counter = field(default_factory=Counter)
+
+    # §7 property paths
+    property_path_total: int = 0
+    simple_path_forms: Counter = field(default_factory=Counter)  # "!a"/"^a"
+    path_types: Counter = field(default_factory=Counter)
+    path_type_k: Dict[str, List[int]] = field(default_factory=dict)
+    non_ctract: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def keyword_table(self) -> List[Tuple[str, int, float]]:
+        """Table 2 rows: (keyword, absolute, relative %)."""
+        rows = []
+        for keyword in KEYWORD_ORDER:
+            absolute = self.keyword_counts.get(keyword, 0)
+            relative = 100.0 * absolute / self.query_count if self.query_count else 0.0
+            rows.append((keyword, absolute, relative))
+        return rows
+
+    def operator_table(self) -> List[Tuple[str, int, float]]:
+        """Table 3 rows in paper order, plus subtotals."""
+        denominator = self.select_ask_count or 1
+        rows: List[Tuple[str, int, float]] = []
+
+        def label(letters: frozenset) -> str:
+            if not letters:
+                return "none"
+            # The paper writes operator sets with F last: "A, F",
+            # "A, O, F", "A, O, U, F", …
+            order = "AOUGF"
+            return ", ".join(sorted(letters, key=order.index))
+
+        cpf_subtotal = 0
+        for letters in TABLE3_ROWS:
+            count = self.operator_sets.get(letters, 0)
+            rows.append((label(letters), count, 100.0 * count / denominator))
+            if letters <= frozenset("AF"):
+                cpf_subtotal += count
+        rows.insert(
+            4, ("CPF subtotal", cpf_subtotal, 100.0 * cpf_subtotal / denominator)
+        )
+        return rows
+
+    def cpf_plus(self, letter: str) -> Tuple[int, float]:
+        """The CPF+O / CPF+G / CPF+U increments of Table 3."""
+        denominator = self.select_ask_count or 1
+        increment = 0
+        for letters, count in self.operator_sets.items():
+            if letter in letters and letters <= frozenset("AF" + letter):
+                increment += count
+        return increment, 100.0 * increment / denominator
+
+    def projection_bounds(self) -> Tuple[float, float]:
+        """(lower %, upper %) of queries using projection (§4.4)."""
+        if not self.query_count:
+            return (0.0, 0.0)
+        low = 100.0 * self.projection_true / self.query_count
+        high = 100.0 * (
+            self.projection_true + self.projection_indeterminate
+        ) / self.query_count
+        return (low, high)
+
+    def shape_table(self, fragment: str) -> List[Tuple[str, int, float]]:
+        """One Table 4 column block for fragment ∈ {CQ, CQF, CQOF}."""
+        counts = self.shape_counts[fragment]
+        total = self.shape_totals[fragment] or 1
+        rows = [
+            (shape, counts.get(shape, 0), 100.0 * counts.get(shape, 0) / total)
+            for shape in SHAPE_ORDER
+        ]
+        tw = self.treewidth_counts[fragment]
+        le2 = tw.get(1, 0) + tw.get(2, 0) + tw.get(0, 0)
+        rows.append(("treewidth <= 2", le2, 100.0 * le2 / total))
+        rows.append(("treewidth = 3", tw.get(3, 0), 100.0 * tw.get(3, 0) / total))
+        rows.append(("total", self.shape_totals[fragment], 100.0))
+        return rows
+
+    def path_table(self) -> List[Tuple[str, int, float, str]]:
+        """Table 5 rows: (type, absolute, relative %, k-range)."""
+        navigational = sum(self.path_types.values()) or 1
+        rows = []
+        for name, count in self.path_types.most_common():
+            ks = self.path_type_k.get(name, [])
+            if ks:
+                lo, hi = min(ks), max(ks)
+                k_range = str(lo) if lo == hi else f"{lo}-{hi}"
+            else:
+                k_range = ""
+            rows.append((name, count, 100.0 * count / navigational, k_range))
+        return rows
+
+
+def study_corpus(
+    logs: Mapping[str, QueryLog], dedup: bool = True
+) -> CorpusStudy:
+    """Run the full analysis over processed logs."""
+    study = CorpusStudy(dedup=dedup)
+    for name, log in logs.items():
+        stats = DatasetStats(
+            name=name, total=log.total, valid=log.valid, unique=log.unique
+        )
+        study.datasets[name] = stats
+        for parsed in log.unique_queries():
+            weight = 1 if dedup else parsed.count
+            _analyze_query(study, stats, parsed, weight)
+    return study
+
+
+# ---------------------------------------------------------------------------
+# Per-query analysis
+# ---------------------------------------------------------------------------
+
+
+def _analyze_query(
+    study: CorpusStudy, stats: DatasetStats, parsed: ParsedQuery, weight: int
+) -> None:
+    query = parsed.query
+    # Wikidata queries get their SERVICE wrapper stripped (§4.3 fn 13).
+    if stats.name.lower().startswith("wikidata"):
+        query = walk.strip_services(query)
+    features = extract_features(query)
+
+    study.query_count += weight
+    stats.queries += weight
+    stats.triple_sum += features.triple_count * weight
+    for keyword in features.keywords:
+        study.keyword_counts[keyword] += weight
+        stats.keyword_counts[keyword] += weight
+    if not features.has_body:
+        study.no_body_count += weight
+    if features.uses_subquery:
+        study.subquery_count += weight
+    if features.uses_projection is True:
+        study.projection_true += weight
+        if query.query_type is ast.QueryType.ASK:
+            study.ask_projection += weight
+    elif features.uses_projection is None:
+        study.projection_indeterminate += weight
+
+    _analyze_paths(study, parsed.query, weight)
+
+    if not features.is_select_or_ask():
+        return
+    study.select_ask_count += weight
+    stats.select_ask += weight
+    stats.triple_hist[features.triple_count] += weight
+
+    classification = classify_operators(query)
+    if classification.pure:
+        if classification.letters in TABLE3_ROWS:
+            study.operator_sets[classification.letters] += weight
+        else:
+            study.operator_other_combination += weight
+            study.operator_sets[classification.letters] += weight
+    else:
+        study.operator_other_features += weight
+
+    fragments = classify_fragments(query)
+    if not fragments.is_aof:
+        return
+    study.aof_count += weight
+    if fragments.is_well_designed:
+        study.well_designed_count += weight
+        if (
+            fragments.has_simple_filters
+            and fragments.interface_width is not None
+            and fragments.interface_width > 1
+        ):
+            study.wide_interface_count += weight
+    if fragments.is_cq:
+        study.cq_count += weight
+    if fragments.is_cqf:
+        study.cqf_count += weight
+    if fragments.is_cqof:
+        study.cqof_count += weight
+
+    triples = features.triple_count
+    if triples >= 1:
+        if fragments.is_cq:
+            study.cq_sizes[triples] += weight
+        if fragments.is_cqf:
+            study.cqf_sizes[triples] += weight
+        if fragments.is_cqof:
+            study.cqof_sizes[triples] += weight
+
+    _analyze_structure(study, query, fragments, weight)
+
+
+def _analyze_structure(study, query, fragments, weight: int) -> None:
+    pattern = query.pattern
+    if has_predicate_variable(pattern):
+        if fragments.is_cqof:
+            study.predicate_variable_cqof += weight
+            hypergraph = canonical_hypergraph(pattern)
+            result = hypertree_width(hypergraph)
+            study.hypertree_widths[result.width] += weight
+            study.decomposition_nodes[result.node_count] += weight
+        return
+    if not (fragments.is_cq or fragments.is_cqf or fragments.is_cqof):
+        return
+    graph = canonical_graph(pattern)
+    if graph.node_count() > _SHAPE_NODE_LIMIT:
+        return
+    profile = classify_shape(graph)
+    width = treewidth(graph)
+    memberships = profile.as_dict()
+    for fragment, member in (
+        ("CQ", fragments.is_cq),
+        ("CQF", fragments.is_cqf),
+        ("CQOF", fragments.is_cqof),
+    ):
+        if not member:
+            continue
+        study.shape_totals[fragment] += weight
+        for shape, holds in memberships.items():
+            if holds:
+                study.shape_counts[fragment][shape] += weight
+        study.treewidth_counts[fragment][width.width] += weight
+    if fragments.is_cq and profile.single_edge:
+        study.single_edge_cq += weight
+        constants_only = canonical_graph(pattern, include_constants=False)
+        if constants_only.node_count() < graph.node_count():
+            study.single_edge_cq_with_constants += weight
+    if profile.shortest_cycle is not None and fragments.is_cqof:
+        study.girth_hist[profile.shortest_cycle] += weight
+
+
+def _analyze_paths(study, query, weight: int) -> None:
+    pattern = query.pattern
+    for node in walk.iter_path_patterns(pattern):
+        study.property_path_total += weight
+        classification = classify_path(node.path)
+        if not classification.navigational:
+            if classification.simple_form:
+                study.simple_path_forms[classification.simple_form] += weight
+            continue
+        study.path_types[classification.expression_type] += weight
+        if classification.k is not None:
+            study.path_type_k.setdefault(
+                classification.expression_type, []
+            ).append(classification.k)
+        if not classification.ctract and len(study.non_ctract) < 100:
+            from ..sparql.serializer import serialize_path
+
+            study.non_ctract.append(serialize_path(node.path))

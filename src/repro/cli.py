@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``analyze FILE [FILE...]`` — run the paper's full study over files of
+  SPARQL queries (one query per line with ``\\n`` escapes, blank-line
+  separated blocks, or Apache access-log lines) and print the tables.
+* ``corpus --scale S --out DIR`` — generate the calibrated synthetic
+  corpus, one ``.log`` file of access-log lines per dataset.
+* ``figure3 [--nodes N] [--timeout T]`` — run the chain/cycle engine
+  experiment and print Figure 3.
+* ``streaks FILE|--synthetic N`` — detect streaks (Table 6) in an
+  ordered query log.
+
+The CLI is a thin veneer over the public API; every command is covered
+by the test suite through :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .analysis import find_streaks, streak_length_histogram
+from .analysis.study import study_corpus
+from .engine import IndexedEngine, NestedLoopEngine
+from .logs import build_query_log, encode_access_log_line, iter_queries
+from .reporting import (
+    render_figure1,
+    render_figure3,
+    render_figure5,
+    render_fragments,
+    render_hypertree,
+    render_projection,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+from .workload import (
+    bib_schema,
+    generate_corpus,
+    generate_day_log,
+    generate_graph,
+    generate_workload,
+)
+
+__all__ = ["main", "read_query_file"]
+
+
+def read_query_file(path: Path) -> List[str]:
+    """Read queries from *path*.
+
+    Three formats are auto-detected:
+
+    * access-log lines (``... "GET /sparql?query=..." ...``);
+    * one query per line, with literal ``\\n`` escapes allowed;
+    * blank-line separated multi-line queries.
+    """
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+    if any('"GET ' in line or '"POST ' in line for line in lines[:10]):
+        return list(iter_queries(lines))
+    if any(not line.strip() for line in lines):
+        blocks: List[str] = []
+        current: List[str] = []
+        for line in lines:
+            if line.strip():
+                current.append(line)
+            elif current:
+                blocks.append("\n".join(current))
+                current = []
+        if current:
+            blocks.append("\n".join(current))
+        return blocks
+    return [line.replace("\\n", "\n") for line in lines if line.strip()]
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    logs = {}
+    for file_name in args.files:
+        path = Path(file_name)
+        queries = read_query_file(path)
+        logs[path.stem] = build_query_log(path.stem, queries)
+    study = study_corpus(logs, dedup=not args.keep_duplicates)
+    print(render_table1(logs))
+    print()
+    print(render_table2(study))
+    print()
+    print(render_figure1(study))
+    print()
+    print(render_table3(study))
+    print()
+    print(render_projection(study))
+    print()
+    print(render_fragments(study))
+    print()
+    print(render_figure5(study))
+    print()
+    print(render_table4(study))
+    print()
+    print(render_hypertree(study))
+    print()
+    print(render_table5(study))
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    corpus = generate_corpus(scale=args.scale, seed=args.seed)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name, queries in corpus.items():
+        safe = name.replace("/", "_")
+        path = out_dir / f"{safe}.log"
+        with path.open("w", encoding="utf-8") as handle:
+            for query in queries:
+                handle.write(encode_access_log_line(query) + "\n")
+        print(f"wrote {len(queries):>6} entries to {path}")
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    schema = bib_schema()
+    graph = generate_graph(schema, args.nodes, seed=args.seed)
+    print(f"graph: {len(graph):,} triples")
+    engines = {
+        "BG": IndexedEngine(graph, timeout=args.timeout),
+        "PG": NestedLoopEngine(graph, timeout=args.timeout),
+    }
+    results = []
+    for length in args.lengths:
+        for shape in ("chain", "cycle"):
+            workload = generate_workload(
+                schema, shape, length, args.queries, seed=length
+            )
+            texts = [q.text for q in workload]
+            for engine in engines.values():
+                results.append(
+                    engine.run_workload(texts, label=f"{shape}-W{length}")
+                )
+    print(render_figure3(results))
+    return 0
+
+
+def _cmd_streaks(args: argparse.Namespace) -> int:
+    if args.synthetic:
+        queries: Sequence[str] = generate_day_log(
+            n_queries=args.synthetic, seed=args.seed
+        )
+        name = f"synthetic-{args.synthetic}"
+    else:
+        if not args.file:
+            print("streaks: provide FILE or --synthetic N", file=sys.stderr)
+            return 2
+        path = Path(args.file)
+        queries = read_query_file(path)
+        name = path.stem
+    streaks = find_streaks(queries, window=args.window, threshold=args.threshold)
+    histogram = streak_length_histogram(streaks)
+    print(render_table6({name: histogram}))
+    if streaks:
+        longest = max(s.length for s in streaks)
+        print(f"\nlongest streak: {longest} queries")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Analytics for SPARQL query logs (VLDB 2017 reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser("analyze", help="run the full study on query files")
+    analyze.add_argument("files", nargs="+", help="query/log files (one log each)")
+    analyze.add_argument(
+        "--keep-duplicates",
+        action="store_true",
+        help="analyze the Valid corpus instead of the Unique one (appendix mode)",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
+    corpus = commands.add_parser("corpus", help="generate the synthetic corpus")
+    corpus.add_argument("--scale", type=float, default=1e-5)
+    corpus.add_argument("--seed", type=int, default=0)
+    corpus.add_argument("--out", default="corpus-out")
+    corpus.set_defaults(func=_cmd_corpus)
+
+    figure3 = commands.add_parser("figure3", help="chain vs cycle engine experiment")
+    figure3.add_argument("--nodes", type=int, default=1500)
+    figure3.add_argument("--timeout", type=float, default=2.0)
+    figure3.add_argument("--queries", type=int, default=5)
+    figure3.add_argument(
+        "--lengths", type=int, nargs="+", default=[3, 4, 5, 6]
+    )
+    figure3.add_argument("--seed", type=int, default=1)
+    figure3.set_defaults(func=_cmd_figure3)
+
+    streaks = commands.add_parser("streaks", help="detect streaks (Table 6)")
+    streaks.add_argument("file", nargs="?", help="ordered query log file")
+    streaks.add_argument("--synthetic", type=int, default=0, metavar="N")
+    streaks.add_argument("--window", type=int, default=30)
+    streaks.add_argument("--threshold", type=float, default=0.25)
+    streaks.add_argument("--seed", type=int, default=0)
+    streaks.set_defaults(func=_cmd_streaks)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

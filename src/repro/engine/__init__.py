@@ -1,0 +1,39 @@
+"""SPARQL query evaluation engines over the in-memory RDF store."""
+
+from .engines import (
+    Engine,
+    IndexedEngine,
+    NestedLoopEngine,
+    QueryRunResult,
+    WorkloadRunResult,
+)
+from .evaluator import PatternEvaluator, Solution, evaluate_bgp_order
+from .results import (
+    boolean_to_json,
+    results_from_json,
+    results_to_csv,
+    results_to_json,
+)
+from .expressions import (
+    ExpressionError,
+    effective_boolean_value,
+    evaluate_expression,
+)
+
+__all__ = [
+    "boolean_to_json",
+    "results_from_json",
+    "results_to_csv",
+    "results_to_json",
+    "Engine",
+    "IndexedEngine",
+    "NestedLoopEngine",
+    "QueryRunResult",
+    "WorkloadRunResult",
+    "PatternEvaluator",
+    "Solution",
+    "evaluate_bgp_order",
+    "ExpressionError",
+    "effective_boolean_value",
+    "evaluate_expression",
+]

@@ -1,0 +1,410 @@
+"""SPARQL expression evaluation (filters, BIND, HAVING).
+
+Implements the fragment of SPARQL 1.1 expression semantics that the
+corpus and the generated workloads exercise: effective boolean value,
+term equality and ordering with numeric coercion, arithmetic, logical
+connectives with SPARQL's three-valued error handling, and the common
+builtins.
+
+Type errors follow the spec: they raise :class:`ExpressionError`
+internally, and filters treat an erroring constraint as *false*
+(``||``/``&&`` implement the error-absorbing truth tables).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Mapping, Optional, Union
+
+from ..rdf.terms import (
+    IRI,
+    BlankNode,
+    Literal,
+    Term,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+)
+from ..sparql import ast
+
+__all__ = ["ExpressionError", "evaluate_expression", "effective_boolean_value"]
+
+Binding = Mapping[Variable, Term]
+
+
+class ExpressionError(Exception):
+    """A SPARQL expression type error (absorbed by filters)."""
+
+
+_TRUE = Literal("true", datatype=XSD_BOOLEAN)
+_FALSE = Literal("false", datatype=XSD_BOOLEAN)
+
+
+def _boolean(value: bool) -> Literal:
+    return _TRUE if value else _FALSE
+
+
+def _numeric_value(term: Term) -> Union[int, float]:
+    if isinstance(term, Literal) and term.is_numeric():
+        try:
+            return term.python_value()  # type: ignore[return-value]
+        except ValueError as exc:
+            raise ExpressionError(f"bad numeric lexical form: {term.lexical!r}") from exc
+    raise ExpressionError(f"not a numeric literal: {term!r}")
+
+
+def effective_boolean_value(term: Term) -> bool:
+    """SPARQL §17.2.2 EBV rules."""
+    if isinstance(term, Literal):
+        if term.datatype == XSD_BOOLEAN:
+            return term.lexical in ("true", "1")
+        if term.is_numeric():
+            try:
+                return bool(term.python_value())
+            except ValueError:
+                return False
+        if term.language is not None or term.datatype in (None, XSD_STRING):
+            return len(term.lexical) > 0
+    raise ExpressionError(f"no effective boolean value for {term!r}")
+
+
+def evaluate_expression(
+    expression: ast.Expression,
+    binding: Binding,
+    exists_evaluator: Optional[Callable[[ast.Pattern, Binding], bool]] = None,
+) -> Term:
+    """Evaluate *expression* under *binding*, returning an RDF term.
+
+    *exists_evaluator* is injected by the pattern evaluator to handle
+    EXISTS / NOT EXISTS (expressions cannot evaluate patterns alone).
+    Raises :class:`ExpressionError` on unbound variables and type
+    errors.
+    """
+    evaluator = _Evaluator(binding, exists_evaluator)
+    return evaluator.eval(expression)
+
+
+class _Evaluator:
+    def __init__(
+        self,
+        binding: Binding,
+        exists_evaluator: Optional[Callable[[ast.Pattern, Binding], bool]],
+    ) -> None:
+        self.binding = binding
+        self.exists_evaluator = exists_evaluator
+
+    def eval(self, expression: ast.Expression) -> Term:
+        if isinstance(expression, ast.TermExpression):
+            return self._term(expression.term)
+        if isinstance(expression, ast.OrExpression):
+            return self._or(expression)
+        if isinstance(expression, ast.AndExpression):
+            return self._and(expression)
+        if isinstance(expression, ast.NotExpression):
+            return _boolean(not self._ebv(expression.operand))
+        if isinstance(expression, ast.Comparison):
+            return self._comparison(expression)
+        if isinstance(expression, ast.InExpression):
+            return self._in(expression)
+        if isinstance(expression, ast.Arithmetic):
+            return self._arithmetic(expression)
+        if isinstance(expression, ast.UnaryMinus):
+            value = _numeric_value(self.eval(expression.operand))
+            return _numeric_literal(-value)
+        if isinstance(expression, ast.BuiltinCall):
+            return self._builtin(expression)
+        if isinstance(expression, ast.ExistsExpression):
+            return self._exists(expression)
+        if isinstance(expression, ast.FunctionCall):
+            return self._function(expression)
+        if isinstance(expression, ast.Aggregate):
+            raise ExpressionError("aggregate outside aggregation context")
+        raise ExpressionError(f"cannot evaluate {type(expression).__name__}")
+
+    # ------------------------------------------------------------------
+    def _term(self, term: Term) -> Term:
+        if isinstance(term, Variable):
+            value = self.binding.get(term)
+            if value is None:
+                raise ExpressionError(f"unbound variable {term}")
+            return value
+        return term
+
+    def _ebv(self, expression: ast.Expression) -> bool:
+        return effective_boolean_value(self.eval(expression))
+
+    def _or(self, expression: ast.OrExpression) -> Literal:
+        # SPARQL ||: true wins over error; error if no true and any error.
+        saw_error = False
+        for operand in expression.operands:
+            try:
+                if self._ebv(operand):
+                    return _TRUE
+            except ExpressionError:
+                saw_error = True
+        if saw_error:
+            raise ExpressionError("|| with errors and no true operand")
+        return _FALSE
+
+    def _and(self, expression: ast.AndExpression) -> Literal:
+        saw_error = False
+        for operand in expression.operands:
+            try:
+                if not self._ebv(operand):
+                    return _FALSE
+            except ExpressionError:
+                saw_error = True
+        if saw_error:
+            raise ExpressionError("&& with errors and no false operand")
+        return _TRUE
+
+    def _comparison(self, expression: ast.Comparison) -> Literal:
+        left = self.eval(expression.left)
+        right = self.eval(expression.right)
+        op = expression.op
+        if op == "=":
+            return _boolean(_terms_equal(left, right))
+        if op == "!=":
+            return _boolean(not _terms_equal(left, right))
+        return _boolean(_ordered_compare(left, right, op))
+
+    def _in(self, expression: ast.InExpression) -> Literal:
+        operand = self.eval(expression.operand)
+        found = False
+        for choice in expression.choices:
+            try:
+                if _terms_equal(operand, self.eval(choice)):
+                    found = True
+                    break
+            except ExpressionError:
+                continue
+        return _boolean(found != expression.negated)
+
+    def _arithmetic(self, expression: ast.Arithmetic) -> Literal:
+        left = _numeric_value(self.eval(expression.left))
+        right = _numeric_value(self.eval(expression.right))
+        op = expression.op
+        if op == "+":
+            return _numeric_literal(left + right)
+        if op == "-":
+            return _numeric_literal(left - right)
+        if op == "*":
+            return _numeric_literal(left * right)
+        if op == "/":
+            if right == 0:
+                raise ExpressionError("division by zero")
+            result = left / right
+            return _numeric_literal(result)
+        raise ExpressionError(f"unknown arithmetic operator {op!r}")
+
+    def _exists(self, expression: ast.ExistsExpression) -> Literal:
+        if self.exists_evaluator is None:
+            raise ExpressionError("EXISTS outside a pattern context")
+        found = self.exists_evaluator(expression.pattern, self.binding)
+        return _boolean(found != expression.negated)
+
+    def _function(self, expression: ast.FunctionCall) -> Term:
+        # xsd: casts are the only IRI functions the engines support.
+        name = expression.function.value
+        if name.startswith("http://www.w3.org/2001/XMLSchema#") and expression.args:
+            target = name.rsplit("#", 1)[1]
+            value = self.eval(expression.args[0])
+            return _cast(value, target)
+        raise ExpressionError(f"unsupported function {name}")
+
+    # ------------------------------------------------------------------
+    def _builtin(self, expression: ast.BuiltinCall) -> Term:
+        name = expression.name
+        args = expression.args
+        if name == "BOUND":
+            if len(args) != 1 or not isinstance(args[0], ast.TermExpression):
+                raise ExpressionError("BOUND requires a variable")
+            term = args[0].term
+            if not isinstance(term, Variable):
+                raise ExpressionError("BOUND requires a variable")
+            return _boolean(term in self.binding)
+        if name == "COALESCE":
+            for arg in args:
+                try:
+                    return self.eval(arg)
+                except ExpressionError:
+                    continue
+            raise ExpressionError("COALESCE: all arguments errored")
+        if name == "IF":
+            if len(args) != 3:
+                raise ExpressionError("IF requires 3 arguments")
+            return self.eval(args[1]) if self._ebv(args[0]) else self.eval(args[2])
+
+        values = [self.eval(arg) for arg in args]
+        handler = _SIMPLE_BUILTINS.get(name)
+        if handler is None:
+            raise ExpressionError(f"unsupported builtin {name}")
+        return handler(values)
+
+
+def _terms_equal(left: Term, right: Term) -> bool:
+    if left == right:
+        return True
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        if left.is_numeric() and right.is_numeric():
+            return _numeric_value(left) == _numeric_value(right)
+        # Identical lexical forms with incomparable datatypes already
+        # handled by ==; different lexical forms of unknown types error.
+        if left.effective_datatype != right.effective_datatype:
+            raise ExpressionError("incomparable literals")
+    return False
+
+
+def _ordered_compare(left: Term, right: Term, op: str) -> bool:
+    if (
+        isinstance(left, Literal)
+        and isinstance(right, Literal)
+        and left.is_numeric()
+        and right.is_numeric()
+    ):
+        lv, rv = _numeric_value(left), _numeric_value(right)
+    elif (
+        isinstance(left, Literal)
+        and isinstance(right, Literal)
+        and left.effective_datatype == right.effective_datatype
+    ):
+        lv, rv = left.lexical, right.lexical
+    else:
+        raise ExpressionError(f"cannot order {left!r} and {right!r}")
+    if op == "<":
+        return lv < rv
+    if op == ">":
+        return lv > rv
+    if op == "<=":
+        return lv <= rv
+    if op == ">=":
+        return lv >= rv
+    raise ExpressionError(f"unknown comparison {op!r}")
+
+
+def _numeric_literal(value: Union[int, float]) -> Literal:
+    if isinstance(value, int):
+        return Literal(str(value), datatype=XSD_INTEGER)
+    return Literal(repr(value), datatype=XSD_DOUBLE)
+
+
+def _cast(value: Term, target: str) -> Literal:
+    if not isinstance(value, Literal):
+        raise ExpressionError(f"cannot cast {value!r}")
+    try:
+        if target == "integer":
+            return Literal(str(int(float(value.lexical))), datatype=XSD_INTEGER)
+        if target in ("decimal", "double", "float"):
+            return Literal(repr(float(value.lexical)), datatype=XSD_DOUBLE)
+        if target == "string":
+            return Literal(value.lexical)
+        if target == "boolean":
+            return _boolean(value.lexical in ("true", "1"))
+    except ValueError as exc:
+        raise ExpressionError(str(exc)) from exc
+    raise ExpressionError(f"unsupported cast xsd:{target}")
+
+
+# ---------------------------------------------------------------------------
+# Simple builtins: list of evaluated args -> term.
+# ---------------------------------------------------------------------------
+
+
+def _require_literal(term: Term, builtin: str) -> Literal:
+    if not isinstance(term, Literal):
+        raise ExpressionError(f"{builtin} requires a literal")
+    return term
+
+
+def _string_value(term: Term, builtin: str) -> str:
+    return _require_literal(term, builtin).lexical
+
+
+def _builtin_str(values) -> Literal:
+    term = values[0]
+    if isinstance(term, IRI):
+        return Literal(term.value)
+    if isinstance(term, Literal):
+        return Literal(term.lexical)
+    raise ExpressionError("STR of blank node")
+
+
+def _builtin_lang(values) -> Literal:
+    return Literal(_require_literal(values[0], "LANG").language or "")
+
+
+def _builtin_datatype(values) -> IRI:
+    return IRI(_require_literal(values[0], "DATATYPE").effective_datatype)
+
+
+def _builtin_regex(values) -> Literal:
+    if len(values) < 2:
+        raise ExpressionError("REGEX requires 2 or 3 arguments")
+    text = _string_value(values[0], "REGEX")
+    pattern = _string_value(values[1], "REGEX")
+    flags = 0
+    if len(values) >= 3 and "i" in _string_value(values[2], "REGEX"):
+        flags |= re.IGNORECASE
+    try:
+        return _boolean(re.search(pattern, text, flags) is not None)
+    except re.error as exc:
+        raise ExpressionError(f"bad regex: {exc}") from exc
+
+
+def _builtin_substr(values) -> Literal:
+    text = _string_value(values[0], "SUBSTR")
+    start = int(_numeric_value(values[1]))
+    if len(values) >= 3:
+        length = int(_numeric_value(values[2]))
+        return Literal(text[start - 1 : start - 1 + length])
+    return Literal(text[start - 1 :])
+
+
+def _builtin_langmatches(values) -> Literal:
+    tag = _string_value(values[0], "LANGMATCHES").lower()
+    pattern = _string_value(values[1], "LANGMATCHES").lower()
+    if pattern == "*":
+        return _boolean(bool(tag))
+    return _boolean(tag == pattern or tag.startswith(pattern + "-"))
+
+
+_SIMPLE_BUILTINS: Dict[str, Callable] = {
+    "STR": _builtin_str,
+    "LANG": _builtin_lang,
+    "DATATYPE": _builtin_datatype,
+    "STRLEN": lambda v: _numeric_literal(len(_string_value(v[0], "STRLEN"))),
+    "UCASE": lambda v: Literal(_string_value(v[0], "UCASE").upper()),
+    "LCASE": lambda v: Literal(_string_value(v[0], "LCASE").lower()),
+    "CONTAINS": lambda v: _boolean(
+        _string_value(v[1], "CONTAINS") in _string_value(v[0], "CONTAINS")
+    ),
+    "STRSTARTS": lambda v: _boolean(
+        _string_value(v[0], "STRSTARTS").startswith(_string_value(v[1], "STRSTARTS"))
+    ),
+    "STRENDS": lambda v: _boolean(
+        _string_value(v[0], "STRENDS").endswith(_string_value(v[1], "STRENDS"))
+    ),
+    "CONCAT": lambda v: Literal(
+        "".join(_string_value(term, "CONCAT") for term in v)
+    ),
+    "ABS": lambda v: _numeric_literal(abs(_numeric_value(v[0]))),
+    "CEIL": lambda v: _numeric_literal(int(-(-_numeric_value(v[0]) // 1))),
+    "FLOOR": lambda v: _numeric_literal(int(_numeric_value(v[0]) // 1)),
+    "ROUND": lambda v: _numeric_literal(round(_numeric_value(v[0]))),
+    "ISIRI": lambda v: _boolean(isinstance(v[0], IRI)),
+    "ISURI": lambda v: _boolean(isinstance(v[0], IRI)),
+    "ISBLANK": lambda v: _boolean(isinstance(v[0], BlankNode)),
+    "ISLITERAL": lambda v: _boolean(isinstance(v[0], Literal)),
+    "ISNUMERIC": lambda v: _boolean(
+        isinstance(v[0], Literal) and v[0].is_numeric()
+    ),
+    "SAMETERM": lambda v: _boolean(v[0] == v[1]),
+    "REGEX": _builtin_regex,
+    "SUBSTR": _builtin_substr,
+    "LANGMATCHES": _builtin_langmatches,
+    "IRI": lambda v: v[0] if isinstance(v[0], IRI) else IRI(_string_value(v[0], "IRI")),
+    "URI": lambda v: v[0] if isinstance(v[0], IRI) else IRI(_string_value(v[0], "URI")),
+}

@@ -1,0 +1,144 @@
+"""SPARQL query-results serialization (JSON and CSV).
+
+Endpoints return SELECT/ASK results in the W3C "SPARQL 1.1 Query
+Results JSON Format" and the CSV/TSV formats; tools downstream of this
+library (and its own CLI) need the same.  Solutions are the
+``Dict[Variable, Term]`` mappings produced by the engines.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..rdf.terms import IRI, BlankNode, Literal, Term, Variable
+from ..sparql import ast
+
+__all__ = [
+    "results_to_json",
+    "results_from_json",
+    "results_to_csv",
+    "boolean_to_json",
+]
+
+Solution = Dict[Variable, Term]
+
+
+def _term_to_json(term: Term) -> Dict[str, str]:
+    if isinstance(term, IRI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BlankNode):
+        return {"type": "bnode", "value": term.label}
+    if isinstance(term, Literal):
+        entry: Dict[str, str] = {"type": "literal", "value": term.lexical}
+        if term.language is not None:
+            entry["xml:lang"] = term.language
+        elif term.datatype is not None:
+            entry["datatype"] = term.datatype
+        return entry
+    raise TypeError(f"cannot serialize term {term!r}")
+
+
+def _term_from_json(entry: Dict[str, str]) -> Term:
+    kind = entry.get("type")
+    value = entry.get("value", "")
+    if kind == "uri":
+        return IRI(value)
+    if kind == "bnode":
+        return BlankNode(value)
+    if kind in ("literal", "typed-literal"):
+        language = entry.get("xml:lang")
+        datatype = entry.get("datatype")
+        return Literal(value, language=language, datatype=datatype)
+    raise ValueError(f"unknown term type {kind!r}")
+
+
+def _ordered_variables(
+    solutions: Sequence[Solution],
+    variables: Optional[Sequence[Variable]],
+) -> List[Variable]:
+    if variables is not None:
+        return list(variables)
+    seen: List[Variable] = []
+    for solution in solutions:
+        for variable in solution:
+            if variable not in seen:
+                seen.append(variable)
+    return seen
+
+
+def results_to_json(
+    solutions: Sequence[Solution],
+    variables: Optional[Sequence[Variable]] = None,
+    indent: Optional[int] = None,
+) -> str:
+    """Serialize SELECT results to the W3C JSON results format."""
+    ordered = _ordered_variables(solutions, variables)
+    document = {
+        "head": {"vars": [v.name for v in ordered]},
+        "results": {
+            "bindings": [
+                {
+                    variable.name: _term_to_json(term)
+                    for variable, term in solution.items()
+                }
+                for solution in solutions
+            ]
+        },
+    }
+    return json.dumps(document, indent=indent, sort_keys=False)
+
+
+def boolean_to_json(value: bool, indent: Optional[int] = None) -> str:
+    """Serialize an ASK result."""
+    return json.dumps({"head": {}, "boolean": bool(value)}, indent=indent)
+
+
+def results_from_json(text: str) -> List[Solution]:
+    """Parse the W3C JSON results format back into solution mappings.
+
+    Round-trips :func:`results_to_json`; also accepts documents from
+    real endpoints (ignores unknown ``head`` members).
+    """
+    document = json.loads(text)
+    bindings = document.get("results", {}).get("bindings", [])
+    solutions: List[Solution] = []
+    for binding in bindings:
+        solution: Solution = {}
+        for name, entry in binding.items():
+            solution[Variable(name)] = _term_from_json(entry)
+        solutions.append(solution)
+    return solutions
+
+
+def results_to_csv(
+    solutions: Sequence[Solution],
+    variables: Optional[Sequence[Variable]] = None,
+) -> str:
+    """Serialize SELECT results to the SPARQL 1.1 CSV results format.
+
+    Per the spec, CSV is lossy: terms are written by their string value
+    (IRIs bare, literals by lexical form, blank nodes as ``_:label``),
+    and unbound cells are empty.
+    """
+    ordered = _ordered_variables(solutions, variables)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\r\n")
+    writer.writerow([v.name for v in ordered])
+    for solution in solutions:
+        row = []
+        for variable in ordered:
+            term = solution.get(variable)
+            if term is None:
+                row.append("")
+            elif isinstance(term, IRI):
+                row.append(term.value)
+            elif isinstance(term, BlankNode):
+                row.append(f"_:{term.label}")
+            else:
+                assert isinstance(term, Literal)
+                row.append(term.lexical)
+        writer.writerow(row)
+    return buffer.getvalue()

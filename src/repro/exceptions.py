@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at pipeline boundaries (notably the log
+cleaning pipeline, which must count — not crash on — invalid queries).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SparqlSyntaxError",
+    "EvaluationError",
+    "EvaluationTimeout",
+    "WorkloadError",
+    "LogFormatError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SparqlSyntaxError(ReproError):
+    """A query string is not valid SPARQL 1.1.
+
+    Carries the 1-based line/column of the offending token so the log
+    pipeline can report where parsing failed.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class EvaluationError(ReproError):
+    """A query could not be evaluated (type errors are handled per the
+    SPARQL spec and do not raise; this is for engine-level failures)."""
+
+
+class EvaluationTimeout(EvaluationError):
+    """A query exceeded the engine's per-query timeout (the Figure 3
+    experiment relies on distinguishing timeouts from completions)."""
+
+    def __init__(self, elapsed: float, limit: float) -> None:
+        super().__init__(f"query timed out after {elapsed:.3f}s (limit {limit:.3f}s)")
+        self.elapsed = elapsed
+        self.limit = limit
+
+
+class WorkloadError(ReproError):
+    """A workload/corpus generator was configured inconsistently."""
+
+
+class LogFormatError(ReproError):
+    """A raw log line could not be decoded into a log entry."""

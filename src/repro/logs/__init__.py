@@ -1,0 +1,19 @@
+"""Log ingestion: access-log formats and the clean/parse/dedup pipeline."""
+
+from .formats import (
+    LogEntry,
+    encode_access_log_line,
+    iter_queries,
+    parse_access_log_line,
+)
+from .pipeline import ParsedQuery, QueryLog, build_query_log
+
+__all__ = [
+    "LogEntry",
+    "encode_access_log_line",
+    "iter_queries",
+    "parse_access_log_line",
+    "ParsedQuery",
+    "QueryLog",
+    "build_query_log",
+]

@@ -1,0 +1,38 @@
+"""RDF data model: terms, triples, graphs, namespaces, N-Triples IO."""
+
+from .graph import Graph
+from .namespaces import Namespace, NamespaceManager, WELL_KNOWN_PREFIXES
+from .terms import (
+    IRI,
+    BlankNode,
+    Literal,
+    Term,
+    Triple,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+)
+from . import ntriples, turtle
+
+__all__ = [
+    "Graph",
+    "Namespace",
+    "NamespaceManager",
+    "WELL_KNOWN_PREFIXES",
+    "IRI",
+    "BlankNode",
+    "Literal",
+    "Term",
+    "Triple",
+    "Variable",
+    "XSD_BOOLEAN",
+    "XSD_DECIMAL",
+    "XSD_DOUBLE",
+    "XSD_INTEGER",
+    "XSD_STRING",
+    "ntriples",
+    "turtle",
+]

@@ -1,0 +1,224 @@
+"""In-memory RDF graph with triple-pattern indexes.
+
+The store keeps three hash indexes (SPO, POS, OSP) so that every
+triple-pattern access path — any combination of bound/unbound subject,
+predicate, object — is answered by dictionary lookups rather than scans.
+This is the substrate under the ``IndexedEngine`` (the paper's
+Blazegraph stand-in); the ``NestedLoopEngine`` deliberately bypasses the
+indexes and scans :meth:`Graph.scan` instead.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .terms import IRI, BlankNode, Literal, Term, Triple
+
+__all__ = ["Graph"]
+
+_SPO = 0
+_POS = 1
+_OSP = 2
+
+
+class Graph:
+    """A set of RDF triples with SPO/POS/OSP indexes.
+
+    The class supports the mutation and lookup operations the engines
+    and generators need: add/remove/contains, pattern matching with any
+    subset of positions bound, and simple cardinality statistics used by
+    the join-order optimizer.
+    """
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None) -> None:
+        self._triples: Set[Triple] = set()
+        # index[level1][level2] -> set of level3 values
+        self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(dict)
+        self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(dict)
+        self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(dict)
+        self._predicate_counts: Dict[Term, int] = defaultdict(int)
+        if triples is not None:
+            for triple in triples:
+                self.add(triple)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, triple: Triple) -> bool:
+        """Add *triple*; return True if it was not already present."""
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        s, p, o = triple
+        self._spo[s].setdefault(p, set()).add(o)
+        self._pos[p].setdefault(o, set()).add(s)
+        self._osp[o].setdefault(s, set()).add(p)
+        self._predicate_counts[p] += 1
+        return True
+
+    def add_spo(self, s: Term, p: Term, o: Term) -> bool:
+        return self.add(Triple(s, p, o))
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove *triple*; return True if it was present."""
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        s, p, o = triple
+        self._discard(self._spo, s, p, o)
+        self._discard(self._pos, p, o, s)
+        self._discard(self._osp, o, s, p)
+        self._predicate_counts[p] -= 1
+        if self._predicate_counts[p] <= 0:
+            del self._predicate_counts[p]
+        return True
+
+    @staticmethod
+    def _discard(
+        index: Dict[Term, Dict[Term, Set[Term]]], a: Term, b: Term, c: Term
+    ) -> None:
+        second = index.get(a)
+        if second is None:
+            return
+        third = second.get(b)
+        if third is None:
+            return
+        third.discard(c)
+        if not third:
+            del second[b]
+        if not second:
+            del index[a]
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Add all *triples*; return the number actually inserted."""
+        return sum(1 for triple in triples if self.add(triple))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def scan(self) -> Iterator[Triple]:
+        """Unindexed full scan (used by the nested-loop engine)."""
+        return iter(self._triples)
+
+    def match(
+        self,
+        s: Optional[Term] = None,
+        p: Optional[Term] = None,
+        o: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Iterate triples matching the given bound positions.
+
+        ``None`` means "unbound".  Uses the cheapest index for the
+        binding pattern; every access path is supported.
+        """
+        if s is not None and p is not None and o is not None:
+            try:
+                triple = Triple(s, p, o)
+            except ValueError:
+                # A term in an impossible position (e.g. a join bound a
+                # subject to a literal): no data triple can match.
+                return
+            if triple in self._triples:
+                yield triple
+            return
+        if s is not None and p is not None:
+            for obj in self._spo.get(s, {}).get(p, ()):
+                yield Triple(s, p, obj)
+            return
+        if p is not None and o is not None:
+            for subj in self._pos.get(p, {}).get(o, ()):
+                yield Triple(subj, p, o)
+            return
+        if s is not None and o is not None:
+            for pred in self._osp.get(o, {}).get(s, ()):
+                yield Triple(s, pred, o)
+            return
+        if s is not None:
+            for pred, objs in self._spo.get(s, {}).items():
+                for obj in objs:
+                    yield Triple(s, pred, obj)
+            return
+        if p is not None:
+            for obj, subjs in self._pos.get(p, {}).items():
+                for subj in subjs:
+                    yield Triple(subj, p, obj)
+            return
+        if o is not None:
+            for subj, preds in self._osp.get(o, {}).items():
+                for pred in preds:
+                    yield Triple(subj, pred, o)
+            return
+        yield from self._triples
+
+    def count_matches(
+        self,
+        s: Optional[Term] = None,
+        p: Optional[Term] = None,
+        o: Optional[Term] = None,
+    ) -> int:
+        """Exact cardinality of :meth:`match` without materializing it
+        when an index answers the question directly."""
+        if s is None and p is None and o is None:
+            return len(self._triples)
+        if s is not None and p is not None and o is None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if p is not None and o is not None and s is None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is not None and o is not None and p is None:
+            return len(self._osp.get(o, {}).get(s, ()))
+        if p is not None and s is None and o is None:
+            return self._predicate_counts.get(p, 0)
+        return sum(1 for _ in self.match(s, p, o))
+
+    # ------------------------------------------------------------------
+    # Statistics and vocabulary
+    # ------------------------------------------------------------------
+    def subjects(self) -> Set[Term]:
+        return set(self._spo)
+
+    def predicates(self) -> Set[Term]:
+        return set(self._pos)
+
+    def objects(self) -> Set[Term]:
+        return set(self._osp)
+
+    def nodes(self) -> Set[Term]:
+        """All terms appearing in subject or object position."""
+        return self.subjects() | self.objects()
+
+    def predicate_histogram(self) -> Dict[Term, int]:
+        return dict(self._predicate_counts)
+
+    def describe(self, node: Term) -> List[Triple]:
+        """All triples where *node* is subject or object (SPARQL
+        DESCRIBE approximation: concise bounded description without
+        blank-node closure)."""
+        seen: Set[Triple] = set()
+        result: List[Triple] = []
+        if isinstance(node, (IRI, BlankNode)):
+            for triple in self.match(s=node):
+                if triple not in seen:
+                    seen.add(triple)
+                    result.append(triple)
+        if isinstance(node, (IRI, BlankNode, Literal)):
+            for triple in self.match(o=node):
+                if triple not in seen:
+                    seen.add(triple)
+                    result.append(triple)
+        return result
+
+    def copy(self) -> "Graph":
+        return Graph(self._triples)
+
+    def __repr__(self) -> str:
+        return f"Graph(len={len(self._triples)})"

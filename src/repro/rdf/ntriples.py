@@ -1,0 +1,131 @@
+"""N-Triples reading and writing.
+
+A minimal, strict N-Triples 1.1 implementation used for test fixtures,
+example data files, and dumping generated graphs.  Only the features of
+the N-Triples grammar are supported (no Turtle abbreviations).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from .graph import Graph
+from .terms import IRI, BlankNode, Literal, Term, Triple
+
+__all__ = ["dumps", "loads", "dump", "load", "NTriplesError"]
+
+
+class NTriplesError(ValueError):
+    """Raised when a line cannot be parsed as an N-Triples statement."""
+
+    def __init__(self, message: str, line_number: int) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+_IRI_RE = re.compile(r"<([^<>\"{}|^`\\\x00-\x20]*)>")
+_BNODE_RE = re.compile(r"_:([A-Za-z0-9][A-Za-z0-9._-]*)")
+_LITERAL_RE = re.compile(
+    r'"((?:[^"\\\n\r]|\\.)*)"'
+    r"(?:@([a-zA-Z]+(?:-[a-zA-Z0-9]+)*)|\^\^<([^<>\s]*)>)?"
+)
+
+_UNESCAPES = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    '"': '"',
+    "\\": "\\",
+    "b": "\b",
+    "f": "\f",
+    "'": "'",
+}
+
+
+def _unescape(text: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(text):
+            raise ValueError("dangling escape")
+        nxt = text[i + 1]
+        if nxt in _UNESCAPES:
+            out.append(_UNESCAPES[nxt])
+            i += 2
+        elif nxt == "u":
+            out.append(chr(int(text[i + 2 : i + 6], 16)))
+            i += 6
+        elif nxt == "U":
+            out.append(chr(int(text[i + 2 : i + 10], 16)))
+            i += 10
+        else:
+            raise ValueError(f"unknown escape: \\{nxt}")
+    return "".join(out)
+
+
+def _parse_term(text: str, pos: int, line_number: int) -> tuple:
+    """Parse one term starting at *pos*; return (term, new_pos)."""
+    while pos < len(text) and text[pos] in " \t":
+        pos += 1
+    if pos >= len(text):
+        raise NTriplesError("unexpected end of statement", line_number)
+    match = _IRI_RE.match(text, pos)
+    if match:
+        return IRI(match.group(1)), match.end()
+    match = _BNODE_RE.match(text, pos)
+    if match:
+        return BlankNode(match.group(1)), match.end()
+    match = _LITERAL_RE.match(text, pos)
+    if match:
+        try:
+            lexical = _unescape(match.group(1))
+        except ValueError as exc:
+            raise NTriplesError(str(exc), line_number) from exc
+        language, datatype = match.group(2), match.group(3)
+        return Literal(lexical, language=language, datatype=datatype), match.end()
+    raise NTriplesError(f"cannot parse term at column {pos}", line_number)
+
+
+def iter_statements(lines: Iterable[str]) -> Iterator[Triple]:
+    """Yield triples from N-Triples *lines*, skipping blanks/comments."""
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        subject, pos = _parse_term(line, 0, line_number)
+        predicate, pos = _parse_term(line, pos, line_number)
+        obj, pos = _parse_term(line, pos, line_number)
+        rest = line[pos:].strip()
+        if rest != ".":
+            raise NTriplesError(f"expected '.' but found {rest!r}", line_number)
+        if not isinstance(predicate, IRI):
+            raise NTriplesError("predicate must be an IRI", line_number)
+        try:
+            yield Triple(subject, predicate, obj)
+        except ValueError as exc:
+            raise NTriplesError(str(exc), line_number) from exc
+
+
+def loads(text: str) -> Graph:
+    """Parse an N-Triples document into a :class:`Graph`."""
+    return Graph(iter_statements(text.splitlines()))
+
+
+def load(fp: TextIO) -> Graph:
+    return Graph(iter_statements(fp))
+
+
+def dumps(graph: Union[Graph, Iterable[Triple]]) -> str:
+    """Serialize *graph* as N-Triples, sorted for determinism."""
+    triples = sorted(graph, key=Triple.sort_key)
+    return "".join(triple.sparql_text() + "\n" for triple in triples)
+
+
+def dump(graph: Union[Graph, Iterable[Triple]], fp: TextIO) -> None:
+    fp.write(dumps(graph))

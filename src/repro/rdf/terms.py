@@ -1,0 +1,249 @@
+"""RDF term model.
+
+Terms are the atoms of RDF data and SPARQL patterns: IRIs, literals,
+blank nodes, and (in patterns only) variables.  All terms are immutable,
+hashable, and totally ordered so they can be used as dictionary keys,
+set members, and sort keys throughout the library.
+
+The ordering follows SPARQL's ``ORDER BY`` term ordering: blank nodes
+sort before IRIs, which sort before literals; variables (which never
+occur in data) sort last.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+__all__ = [
+    "Term",
+    "IRI",
+    "Literal",
+    "BlankNode",
+    "Variable",
+    "Triple",
+    "TermLike",
+    "XSD_STRING",
+    "XSD_INTEGER",
+    "XSD_DECIMAL",
+    "XSD_DOUBLE",
+    "XSD_BOOLEAN",
+    "RDF_LANGSTRING",
+]
+
+XSD = "http://www.w3.org/2001/XMLSchema#"
+XSD_STRING = XSD + "string"
+XSD_INTEGER = XSD + "integer"
+XSD_DECIMAL = XSD + "decimal"
+XSD_DOUBLE = XSD + "double"
+XSD_BOOLEAN = XSD + "boolean"
+RDF_LANGSTRING = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString"
+
+# Sort keys for the SPARQL term ordering.
+_KIND_BLANK = 0
+_KIND_IRI = 1
+_KIND_LITERAL = 2
+_KIND_VARIABLE = 3
+
+_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+}
+
+_VARNAME_RE = re.compile(r"^[A-Za-z_À-￿0-9][A-Za-z_À-￿0-9]*$")
+
+
+def _escape_literal(value: str) -> str:
+    return "".join(_ESCAPES.get(ch, ch) for ch in value)
+
+
+class Term:
+    """Abstract base class for RDF terms.
+
+    Subclasses define ``_kind`` (the SPARQL ordering bucket) and
+    ``sparql_text()`` (the lexical form used in query/data text).
+    """
+
+    __slots__ = ()
+    _kind: int = -1
+
+    def sparql_text(self) -> str:
+        raise NotImplementedError
+
+    def sort_key(self) -> Tuple:
+        raise NotImplementedError
+
+    def is_variable(self) -> bool:
+        return isinstance(self, Variable)
+
+    def is_constant(self) -> bool:
+        return not isinstance(self, (Variable, BlankNode))
+
+    def __lt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+
+@dataclass(frozen=True, order=False)
+class IRI(Term):
+    """An IRI reference, stored in absolute (expanded) form."""
+
+    value: str
+
+    _kind = _KIND_IRI
+
+    def sparql_text(self) -> str:
+        return f"<{self.value}>"
+
+    def sort_key(self) -> Tuple:
+        return (_KIND_IRI, self.value)
+
+    def __str__(self) -> str:
+        return self.value
+
+    def local_name(self) -> str:
+        """Heuristic local name: the part after the last '#' or '/'."""
+        for sep in ("#", "/"):
+            if sep in self.value:
+                return self.value.rsplit(sep, 1)[1]
+        return self.value
+
+
+@dataclass(frozen=True, order=False)
+class Literal(Term):
+    """An RDF literal with optional language tag or datatype IRI.
+
+    Following RDF 1.1, a literal has exactly one of:
+      * a language tag (datatype is implicitly ``rdf:langString``),
+      * an explicit datatype IRI,
+      * neither (datatype is implicitly ``xsd:string``).
+    """
+
+    lexical: str
+    language: Optional[str] = None
+    datatype: Optional[str] = None
+
+    _kind = _KIND_LITERAL
+
+    def __post_init__(self) -> None:
+        if self.language is not None and self.datatype is not None:
+            raise ValueError("a literal cannot have both language and datatype")
+
+    @property
+    def effective_datatype(self) -> str:
+        if self.language is not None:
+            return RDF_LANGSTRING
+        return self.datatype or XSD_STRING
+
+    def sparql_text(self) -> str:
+        body = f'"{_escape_literal(self.lexical)}"'
+        if self.language is not None:
+            return f"{body}@{self.language}"
+        if self.datatype is not None:
+            return f"{body}^^<{self.datatype}>"
+        return body
+
+    def sort_key(self) -> Tuple:
+        return (_KIND_LITERAL, self.lexical, self.language or "", self.datatype or "")
+
+    def __str__(self) -> str:
+        return self.lexical
+
+    def is_numeric(self) -> bool:
+        return self.datatype in (XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE)
+
+    def python_value(self) -> Union[str, int, float, bool]:
+        """Best-effort conversion to a Python value for filter evaluation."""
+        if self.datatype == XSD_INTEGER:
+            return int(self.lexical)
+        if self.datatype in (XSD_DECIMAL, XSD_DOUBLE):
+            return float(self.lexical)
+        if self.datatype == XSD_BOOLEAN:
+            return self.lexical in ("true", "1")
+        return self.lexical
+
+
+@dataclass(frozen=True, order=False)
+class BlankNode(Term):
+    """A blank node with a local label (scope: one document/query)."""
+
+    label: str
+
+    _kind = _KIND_BLANK
+
+    def sparql_text(self) -> str:
+        return f"_:{self.label}"
+
+    def sort_key(self) -> Tuple:
+        return (_KIND_BLANK, self.label)
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+
+@dataclass(frozen=True, order=False)
+class Variable(Term):
+    """A SPARQL query variable (never occurs in data)."""
+
+    name: str
+
+    _kind = _KIND_VARIABLE
+
+    def __post_init__(self) -> None:
+        if not self.name or not _VARNAME_RE.match(self.name):
+            raise ValueError(f"invalid variable name: {self.name!r}")
+
+    def sparql_text(self) -> str:
+        return f"?{self.name}"
+
+    def sort_key(self) -> Tuple:
+        return (_KIND_VARIABLE, self.name)
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+TermLike = Union[IRI, Literal, BlankNode, Variable]
+
+
+@dataclass(frozen=True, order=False)
+class Triple:
+    """A ground RDF triple (subject, predicate, object).
+
+    In data, subject ∈ IRI ∪ BlankNode, predicate ∈ IRI, and object ∈
+    IRI ∪ BlankNode ∪ Literal.  The constructor validates positions so
+    that a :class:`~repro.rdf.graph.Graph` only ever holds valid RDF.
+    """
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.subject, (IRI, BlankNode)):
+            raise ValueError(f"invalid triple subject: {self.subject!r}")
+        if not isinstance(self.predicate, IRI):
+            raise ValueError(f"invalid triple predicate: {self.predicate!r}")
+        if not isinstance(self.object, (IRI, BlankNode, Literal)):
+            raise ValueError(f"invalid triple object: {self.object!r}")
+
+    def sparql_text(self) -> str:
+        return (
+            f"{self.subject.sparql_text()} {self.predicate.sparql_text()} "
+            f"{self.object.sparql_text()} ."
+        )
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.object))
+
+    def sort_key(self) -> Tuple:
+        return (
+            self.subject.sort_key(),
+            self.predicate.sort_key(),
+            self.object.sort_key(),
+        )

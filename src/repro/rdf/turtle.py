@@ -1,0 +1,362 @@
+"""Turtle reader/writer.
+
+RDF dumps (DBpedia, Wikidata) ship as Turtle; this module parses the
+Turtle 1.1 core — prefixes, ``a``, semicolon/comma predicate-object
+lists, blank-node property lists, collections, numeric/boolean
+literals — by reusing the SPARQL tokenizer (Turtle's triples grammar is
+a subset of SPARQL's triples block).
+
+Not supported (rare in data dumps): ``@base``-relative resolution
+beyond simple joining, and the ``GRAPH`` forms of TriG.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, TextIO, Tuple, Union
+
+from ..exceptions import ReproError
+from ..sparql.tokenizer import Token, TokenType, tokenize
+from .graph import Graph
+from .namespaces import NamespaceManager
+from .terms import (
+    IRI,
+    BlankNode,
+    Literal,
+    Term,
+    Triple,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+
+__all__ = ["TurtleError", "loads", "load", "dumps", "dump"]
+
+RDF_NS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+RDF_TYPE = IRI(RDF_NS + "type")
+RDF_FIRST = IRI(RDF_NS + "first")
+RDF_REST = IRI(RDF_NS + "rest")
+RDF_NIL = IRI(RDF_NS + "nil")
+
+
+class TurtleError(ReproError):
+    """A document is not valid Turtle (with source position)."""
+
+    def __init__(self, message: str, token: Optional[Token] = None) -> None:
+        if token is not None:
+            message = f"{message} at line {token.line}, column {token.column}"
+        super().__init__(message)
+
+
+class _TurtleParser:
+    def __init__(self, text: str) -> None:
+        try:
+            self._tokens = tokenize(text)
+        except ReproError as exc:
+            raise TurtleError(str(exc)) from exc
+        self._pos = 0
+        self._namespaces = NamespaceManager()
+        self._base: Optional[str] = None
+        self._bnode_ids = itertools.count()
+        self.triples: List[Triple] = []
+
+    # -- token helpers ---------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[min(self._pos, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.type != TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _expect_punct(self, symbol: str) -> None:
+        token = self._peek()
+        if not token.is_punct(symbol):
+            raise TurtleError(f"expected {symbol!r}, found {token.value!r}", token)
+        self._next()
+
+    def _fresh_bnode(self) -> BlankNode:
+        return BlankNode(f"__t{next(self._bnode_ids)}")
+
+    # -- entry -----------------------------------------------------------
+    def parse(self) -> List[Triple]:
+        while self._peek().type != TokenType.EOF:
+            token = self._peek()
+            # "@prefix" lexes as a LANGTAG token ("@" + name); SPARQL-
+            # style "PREFIX" lexes as a keyword.  Accept both, as
+            # Turtle 1.1 does.
+            at_prefix = (
+                token.type == TokenType.LANGTAG
+                and token.value.lower() in ("prefix", "base")
+            )
+            if token.is_keyword("PREFIX") or (at_prefix and token.value.lower() == "prefix"):
+                self._parse_prefix()
+            elif token.is_keyword("BASE") or (at_prefix and token.value.lower() == "base"):
+                self._parse_base()
+            else:
+                self._parse_statement()
+        return self.triples
+
+    def _parse_prefix(self) -> None:
+        directive = self._next()
+        at_form = directive.type == TokenType.LANGTAG
+        name = self._peek()
+        if name.type != TokenType.PNAME or not name.value.endswith(":"):
+            raise TurtleError("expected prefix name", name)
+        self._next()
+        iri = self._peek()
+        if iri.type != TokenType.IRIREF:
+            raise TurtleError("expected namespace IRI", iri)
+        self._next()
+        self._namespaces.bind(name.value[:-1], iri.value)
+        if at_form:
+            self._expect_punct(".")
+        elif self._peek().is_punct("."):
+            self._next()
+
+    def _parse_base(self) -> None:
+        self._next()
+        iri = self._peek()
+        if iri.type != TokenType.IRIREF:
+            raise TurtleError("expected base IRI", iri)
+        self._next()
+        self._base = iri.value
+        if self._peek().is_punct("."):
+            self._next()
+
+    # -- statements ------------------------------------------------------
+    def _parse_statement(self) -> None:
+        token = self._peek()
+        if token.is_punct("[") or token.type == TokenType.ANON:
+            subject = self._parse_blank_property_list()
+            if not self._peek().is_punct("."):
+                self._parse_predicate_object_list(subject)
+        else:
+            subject = self._parse_subject()
+            self._parse_predicate_object_list(subject)
+        self._expect_punct(".")
+
+    def _parse_subject(self) -> Term:
+        token = self._peek()
+        if token.type == TokenType.IRIREF:
+            self._next()
+            return IRI(self._resolve(token.value))
+        if token.type == TokenType.PNAME:
+            return self._expand_pname(self._next())
+        if token.type == TokenType.BLANK_NODE:
+            self._next()
+            return BlankNode(token.value)
+        if token.is_punct("(") or token.type == TokenType.NIL:
+            return self._parse_collection()
+        raise TurtleError(f"expected subject, found {token.value!r}", token)
+
+    def _parse_predicate_object_list(self, subject: Term) -> None:
+        while True:
+            predicate = self._parse_predicate()
+            while True:
+                obj = self._parse_object()
+                self._emit(subject, predicate, obj)
+                if not self._peek().is_punct(","):
+                    break
+                self._next()
+            if not self._peek().is_punct(";"):
+                return
+            while self._peek().is_punct(";"):
+                self._next()
+            token = self._peek()
+            if token.is_punct(".") or token.is_punct("]"):
+                return  # trailing semicolon
+
+    def _parse_predicate(self) -> IRI:
+        token = self._peek()
+        if token.type == TokenType.KEYWORD and token.value == "a":
+            self._next()
+            return RDF_TYPE
+        if token.type == TokenType.IRIREF:
+            self._next()
+            return IRI(self._resolve(token.value))
+        if token.type == TokenType.PNAME:
+            return self._expand_pname(self._next())
+        raise TurtleError(f"expected predicate, found {token.value!r}", token)
+
+    def _parse_object(self) -> Term:
+        token = self._peek()
+        if token.type == TokenType.IRIREF:
+            self._next()
+            return IRI(self._resolve(token.value))
+        if token.type == TokenType.PNAME:
+            return self._expand_pname(self._next())
+        if token.type == TokenType.BLANK_NODE:
+            self._next()
+            return BlankNode(token.value)
+        if token.type == TokenType.ANON:
+            self._next()
+            return self._fresh_bnode()
+        if token.is_punct("["):
+            return self._parse_blank_property_list()
+        if token.is_punct("(") or token.type == TokenType.NIL:
+            return self._parse_collection()
+        if token.type == TokenType.STRING:
+            return self._parse_literal()
+        if token.type in (TokenType.INTEGER, TokenType.DECIMAL, TokenType.DOUBLE):
+            return self._parse_number(positive=True)
+        if token.is_punct("-") or token.is_punct("+"):
+            sign = self._next().value
+            number = self._parse_number(positive=sign == "+")
+            return number
+        if token.is_keyword("TRUE", "FALSE"):
+            self._next()
+            return Literal(token.value.lower(), datatype=XSD_BOOLEAN)
+        raise TurtleError(f"expected object, found {token.value!r}", token)
+
+    def _parse_literal(self) -> Literal:
+        token = self._next()
+        nxt = self._peek()
+        if nxt.type == TokenType.LANGTAG:
+            self._next()
+            return Literal(token.value, language=nxt.value)
+        if nxt.is_punct("^^"):
+            self._next()
+            datatype_token = self._peek()
+            if datatype_token.type == TokenType.IRIREF:
+                self._next()
+                return Literal(token.value, datatype=self._resolve(datatype_token.value))
+            if datatype_token.type == TokenType.PNAME:
+                return Literal(
+                    token.value,
+                    datatype=self._expand_pname(self._next()).value,
+                )
+            raise TurtleError("expected datatype IRI", datatype_token)
+        return Literal(token.value)
+
+    def _parse_number(self, positive: bool) -> Literal:
+        token = self._peek()
+        if token.type == TokenType.INTEGER:
+            datatype = XSD_INTEGER
+        elif token.type == TokenType.DECIMAL:
+            datatype = XSD_DECIMAL
+        elif token.type == TokenType.DOUBLE:
+            datatype = XSD_DOUBLE
+        else:
+            raise TurtleError(f"expected number, found {token.value!r}", token)
+        self._next()
+        lexical = token.value if positive else "-" + token.value
+        return Literal(lexical, datatype=datatype)
+
+    def _parse_blank_property_list(self) -> BlankNode:
+        token = self._peek()
+        if token.type == TokenType.ANON:
+            self._next()
+            return self._fresh_bnode()
+        self._expect_punct("[")
+        node = self._fresh_bnode()
+        if not self._peek().is_punct("]"):
+            self._parse_predicate_object_list(node)
+        self._expect_punct("]")
+        return node
+
+    def _parse_collection(self) -> Term:
+        token = self._peek()
+        if token.type == TokenType.NIL:
+            self._next()
+            return RDF_NIL
+        self._expect_punct("(")
+        items: List[Term] = []
+        while not self._peek().is_punct(")"):
+            if self._peek().type == TokenType.EOF:
+                raise TurtleError("unterminated collection", self._peek())
+            items.append(self._parse_object())
+        self._next()
+        if not items:
+            return RDF_NIL
+        head = self._fresh_bnode()
+        node: Term = head
+        for index, item in enumerate(items):
+            self._emit(node, RDF_FIRST, item)
+            if index + 1 < len(items):
+                nxt = self._fresh_bnode()
+                self._emit(node, RDF_REST, nxt)
+                node = nxt
+            else:
+                self._emit(node, RDF_REST, RDF_NIL)
+        return head
+
+    # -- helpers -----------------------------------------------------------
+    def _expand_pname(self, token: Token) -> IRI:
+        prefix, _, local = token.value.partition(":")
+        namespace = self._namespaces.namespace_for(prefix)
+        if namespace is None:
+            raise TurtleError(f"undeclared prefix {prefix!r}", token)
+        return IRI(namespace + local.replace("\\", ""))
+
+    def _resolve(self, value: str) -> str:
+        if self._base is None or "://" in value or value.startswith("urn:"):
+            return value
+        if value.startswith("#") or not value:
+            return self._base + value
+        base = self._base.rsplit("/", 1)[0] + "/" if "/" in self._base else self._base
+        return base + value
+
+    def _emit(self, subject: Term, predicate: IRI, obj: Term) -> None:
+        try:
+            self.triples.append(Triple(subject, predicate, obj))
+        except ValueError as exc:
+            raise TurtleError(str(exc)) from exc
+
+
+def loads(text: str) -> Graph:
+    """Parse a Turtle document into a :class:`Graph`."""
+    return Graph(_TurtleParser(text).parse())
+
+
+def load(fp: TextIO) -> Graph:
+    return loads(fp.read())
+
+
+def dumps(graph: Graph, namespaces: Optional[NamespaceManager] = None) -> str:
+    """Serialize *graph* as Turtle, grouping by subject with ';' lists.
+
+    When *namespaces* is given, IRIs are compacted to prefixed names
+    and the corresponding ``@prefix`` directives are emitted.
+    """
+    manager = namespaces
+
+    def term_text(term: Term) -> str:
+        if manager is not None and isinstance(term, IRI):
+            compact = manager.compact(term)
+            if compact is not None:
+                return compact
+        if term == RDF_TYPE:
+            return "a"
+        return term.sparql_text()
+
+    lines: List[str] = []
+    used_prefixes = set()
+    by_subject: dict = {}
+    for triple in sorted(graph, key=Triple.sort_key):
+        by_subject.setdefault(triple.subject, []).append(triple)
+    body: List[str] = []
+    for subject, triples in by_subject.items():
+        parts = []
+        for triple in triples:
+            predicate_text = term_text(triple.predicate)
+            object_text = term_text(triple.object)
+            for text in (predicate_text, object_text, term_text(subject)):
+                if ":" in text and not text.startswith(("<", '"', "_:")):
+                    used_prefixes.add(text.split(":", 1)[0])
+            parts.append(f"{predicate_text} {object_text}")
+        body.append(f"{term_text(subject)} " + " ;\n    ".join(parts) + " .")
+    if manager is not None:
+        for prefix, namespace in manager.bindings():
+            if prefix in used_prefixes or prefix == "":
+                lines.append(f"@prefix {prefix}: <{namespace}> .")
+        if lines:
+            lines.append("")
+    lines.extend(body)
+    return "\n".join(lines) + ("\n" if body else "")
+
+
+def dump(graph: Graph, fp: TextIO, namespaces: Optional[NamespaceManager] = None) -> None:
+    fp.write(dumps(graph, namespaces))

@@ -1,0 +1,35 @@
+"""Paper-style table/figure renderers."""
+
+from .tables import (
+    render_dataset_highlights,
+    render_figure1,
+    render_figure3,
+    render_figure5,
+    render_fragments,
+    render_hypertree,
+    render_projection,
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+
+__all__ = [
+    "render_dataset_highlights",
+    "render_figure1",
+    "render_figure3",
+    "render_figure5",
+    "render_fragments",
+    "render_hypertree",
+    "render_projection",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "render_table6",
+]

@@ -1,0 +1,20 @@
+"""SPARQL 1.1 parsing, AST, serialization, and traversal."""
+
+from . import ast, walk
+from .parser import Parser, parse_query
+from .serializer import serialize_expression, serialize_path, serialize_pattern, serialize_query
+from .tokenizer import Token, TokenType, tokenize
+
+__all__ = [
+    "ast",
+    "walk",
+    "Parser",
+    "parse_query",
+    "serialize_query",
+    "serialize_pattern",
+    "serialize_expression",
+    "serialize_path",
+    "Token",
+    "TokenType",
+    "tokenize",
+]

@@ -1,0 +1,446 @@
+"""SPARQL 1.1 abstract syntax tree.
+
+The AST mirrors the conceptual model of the paper's §3: a query is a
+tuple (query-type, pattern, solution-modifier).  Patterns form a tree
+over the operators And (grouping), Union, Opt, Graph, Minus, Filter,
+Bind, Values, Service, and subqueries; leaves are triple patterns and
+property-path patterns.
+
+All nodes are dataclasses.  Pattern and expression nodes are immutable
+by convention (analyses never mutate a parsed query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..rdf.terms import IRI, BlankNode, Literal, Term, Variable
+
+__all__ = [
+    "QueryType",
+    "Query",
+    "Prologue",
+    "SolutionModifier",
+    "OrderCondition",
+    "Projection",
+    "ProjectionExpression",
+    # patterns
+    "Pattern",
+    "TriplePattern",
+    "PathPattern",
+    "GroupPattern",
+    "UnionPattern",
+    "OptionalPattern",
+    "GraphGraphPattern",
+    "MinusPattern",
+    "FilterPattern",
+    "BindPattern",
+    "ValuesPattern",
+    "ServicePattern",
+    "SubSelectPattern",
+    # property paths
+    "Path",
+    "PathIRI",
+    "PathInverse",
+    "PathSequence",
+    "PathAlternative",
+    "PathMod",
+    "PathNegated",
+    # expressions
+    "Expression",
+    "TermExpression",
+    "OrExpression",
+    "AndExpression",
+    "NotExpression",
+    "Comparison",
+    "Arithmetic",
+    "UnaryMinus",
+    "FunctionCall",
+    "BuiltinCall",
+    "ExistsExpression",
+    "Aggregate",
+    "InExpression",
+]
+
+
+class QueryType(str, Enum):
+    """The four SPARQL query forms."""
+
+    SELECT = "SELECT"
+    ASK = "ASK"
+    CONSTRUCT = "CONSTRUCT"
+    DESCRIBE = "DESCRIBE"
+
+
+# ---------------------------------------------------------------------------
+# Property paths
+# ---------------------------------------------------------------------------
+
+
+class Path:
+    """Base class for property-path expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class PathIRI(Path):
+    """An atomic path: follow one edge labeled *iri*."""
+
+    iri: IRI
+
+
+@dataclass(frozen=True)
+class PathInverse(Path):
+    """``^path`` — follow *path* in reverse."""
+
+    path: Path
+
+
+@dataclass(frozen=True)
+class PathSequence(Path):
+    """``p1 / p2 / ... / pk`` — concatenation."""
+
+    steps: Tuple[Path, ...]
+
+
+@dataclass(frozen=True)
+class PathAlternative(Path):
+    """``p1 | p2 | ... | pk`` — union of paths."""
+
+    options: Tuple[Path, ...]
+
+
+@dataclass(frozen=True)
+class PathMod(Path):
+    """``path*``, ``path+``, or ``path?``."""
+
+    path: Path
+    modifier: str  # one of "*", "+", "?"
+
+    def __post_init__(self) -> None:
+        if self.modifier not in ("*", "+", "?"):
+            raise ValueError(f"bad path modifier: {self.modifier!r}")
+
+
+@dataclass(frozen=True)
+class PathNegated(Path):
+    """``!iri`` or ``!(iri1 | ^iri2 | ...)`` — negated property set.
+
+    *forward* holds plain IRIs, *inverse* holds the ``^``-ed ones.
+    """
+
+    forward: Tuple[IRI, ...] = ()
+    inverse: Tuple[IRI, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Expressions (FILTER / BIND / HAVING / projection expressions)
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Base class for SPARQL expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TermExpression(Expression):
+    """A term (variable, IRI, or literal) used as an expression."""
+
+    term: Term
+
+
+@dataclass(frozen=True)
+class OrExpression(Expression):
+    operands: Tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class AndExpression(Expression):
+    operands: Tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class NotExpression(Expression):
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """``left op right`` with op ∈ {=, !=, <, >, <=, >=}."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class InExpression(Expression):
+    """``expr [NOT] IN (e1, ..., ek)``."""
+
+    operand: Expression
+    choices: Tuple[Expression, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """``left op right`` with op ∈ {+, -, *, /}."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class UnaryMinus(Expression):
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A call of an IRI-named function (e.g. custom or xsd: casts)."""
+
+    function: IRI
+    args: Tuple[Expression, ...]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class BuiltinCall(Expression):
+    """A SPARQL builtin call such as ``LANG``, ``BOUND``, ``REGEX``."""
+
+    name: str  # uppercased builtin name
+    args: Tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class ExistsExpression(Expression):
+    """``EXISTS { pattern }`` / ``NOT EXISTS { pattern }``."""
+
+    pattern: "GroupPattern"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Aggregate(Expression):
+    """``COUNT/SUM/MIN/MAX/AVG/SAMPLE/GROUP_CONCAT`` applications."""
+
+    name: str  # uppercased aggregate name
+    expression: Optional[Expression]  # None only for COUNT(*)
+    distinct: bool = False
+    separator: Optional[str] = None  # GROUP_CONCAT only
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+class Pattern:
+    """Base class for graph patterns."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TriplePattern(Pattern):
+    """A triple pattern ``s p o`` (no property path)."""
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def terms(self) -> Tuple[Term, Term, Term]:
+        return (self.subject, self.predicate, self.object)
+
+
+@dataclass(frozen=True)
+class PathPattern(Pattern):
+    """A property-path pattern ``s path o``."""
+
+    subject: Term
+    path: Path
+    object: Term
+
+
+@dataclass(frozen=True)
+class FilterPattern(Pattern):
+    """A FILTER constraint, kept in place inside its group."""
+
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class BindPattern(Pattern):
+    """``BIND(expr AS ?var)``."""
+
+    expression: Expression
+    variable: Variable
+
+
+@dataclass(frozen=True)
+class ValuesPattern(Pattern):
+    """Inline data: ``VALUES (?x ?y) { (v1 v2) ... }``.
+
+    ``None`` in a row encodes UNDEF.
+    """
+
+    variables: Tuple[Variable, ...]
+    rows: Tuple[Tuple[Optional[Term], ...], ...]
+
+
+@dataclass(frozen=True)
+class GroupPattern(Pattern):
+    """A group graph pattern ``{ ... }``: conjunction of elements."""
+
+    elements: Tuple[Pattern, ...]
+
+
+@dataclass(frozen=True)
+class UnionPattern(Pattern):
+    """``left UNION right`` (n-ary unions are right-nested by the parser
+    and flattened on demand by analyses)."""
+
+    left: Pattern
+    right: Pattern
+
+
+@dataclass(frozen=True)
+class OptionalPattern(Pattern):
+    """``OPTIONAL { ... }`` — the left operand is implicit (the
+    preceding elements of the enclosing group)."""
+
+    pattern: Pattern
+
+
+@dataclass(frozen=True)
+class GraphGraphPattern(Pattern):
+    """``GRAPH term { ... }``."""
+
+    graph: Term  # IRI or Variable
+    pattern: Pattern
+
+
+@dataclass(frozen=True)
+class MinusPattern(Pattern):
+    """``MINUS { ... }``."""
+
+    pattern: Pattern
+
+
+@dataclass(frozen=True)
+class ServicePattern(Pattern):
+    """``SERVICE [SILENT] term { ... }`` (federation; parsed, and
+    stripped by the corpus study exactly as the paper's fn. 13 does)."""
+
+    endpoint: Term  # IRI or Variable
+    pattern: Pattern
+    silent: bool = False
+
+
+@dataclass(frozen=True)
+class SubSelectPattern(Pattern):
+    """A subquery ``{ SELECT ... }`` used as a graph pattern."""
+
+    query: "Query"
+
+
+# ---------------------------------------------------------------------------
+# Query-level structures
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Prologue:
+    """BASE and PREFIX declarations, in source order."""
+
+    base: Optional[str] = None
+    prefixes: Tuple[Tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class ProjectionExpression:
+    """``(expr AS ?var)`` in a SELECT clause."""
+
+    expression: Expression
+    variable: Variable
+
+
+@dataclass(frozen=True)
+class Projection:
+    """The SELECT clause contents.
+
+    ``select_all`` encodes ``SELECT *``; otherwise *items* holds
+    variables and ``(expr AS ?var)`` expressions in order.
+    """
+
+    select_all: bool = False
+    items: Tuple[Union[Variable, ProjectionExpression], ...] = ()
+    distinct: bool = False
+    reduced: bool = False
+
+    def variables(self) -> Tuple[Variable, ...]:
+        out: List[Variable] = []
+        for item in self.items:
+            if isinstance(item, Variable):
+                out.append(item)
+            else:
+                out.append(item.variable)
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class OrderCondition:
+    """One ORDER BY condition."""
+
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SolutionModifier:
+    """GROUP BY / HAVING / ORDER BY / LIMIT / OFFSET."""
+
+    group_by: Tuple[Union[Expression, ProjectionExpression], ...] = ()
+    having: Tuple[Expression, ...] = ()
+    order_by: Tuple[OrderCondition, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+    def is_trivial(self) -> bool:
+        return not (
+            self.group_by or self.having or self.order_by
+            or self.limit is not None or self.offset is not None
+        )
+
+
+@dataclass(frozen=True)
+class Query:
+    """A full SPARQL query: (query-type, pattern, solution-modifier).
+
+    *pattern* is ``None`` for body-less queries — the paper notes that
+    4.47% of its unique corpus are DESCRIBE queries without a body.
+    For CONSTRUCT, *template* holds the construct template; for
+    DESCRIBE, *describe_targets* holds the described terms (empty
+    tuple means ``DESCRIBE *``).
+    """
+
+    query_type: QueryType
+    pattern: Optional[Pattern]
+    prologue: Prologue = Prologue()
+    projection: Optional[Projection] = None  # SELECT only
+    template: Tuple[TriplePattern, ...] = ()  # CONSTRUCT only
+    describe_targets: Tuple[Term, ...] = ()  # DESCRIBE only
+    describe_all: bool = False  # DESCRIBE *
+    modifier: SolutionModifier = SolutionModifier()
+    values: Optional[ValuesPattern] = None  # trailing VALUES clause
+    #: FROM / FROM NAMED dataset clauses as (iri, is_named) pairs.
+    datasets: Tuple[Tuple[IRI, bool], ...] = ()
+
+    def has_body(self) -> bool:
+        return self.pattern is not None

@@ -1,0 +1,46 @@
+"""Workload and corpus generation: gMark-style graphs/queries and the
+calibrated synthetic log corpus."""
+
+from .corpus import (
+    DATASET_ORDER,
+    DATASET_PROFILES,
+    DatasetProfile,
+    generate_corpus,
+    generate_dataset,
+    generate_day_log,
+)
+from .gmark import generate_graph, node_iri
+from .queries import (
+    GeneratedQuery,
+    QueryShape,
+    chain_query,
+    cycle_query,
+    flower_query,
+    generate_workload,
+    star_chain_query,
+    star_query,
+)
+from .schema import DegreeDistribution, GraphSchema, Predicate, bib_schema
+
+__all__ = [
+    "DATASET_ORDER",
+    "DATASET_PROFILES",
+    "DatasetProfile",
+    "generate_corpus",
+    "generate_dataset",
+    "generate_day_log",
+    "generate_graph",
+    "node_iri",
+    "GeneratedQuery",
+    "QueryShape",
+    "chain_query",
+    "cycle_query",
+    "flower_query",
+    "generate_workload",
+    "star_chain_query",
+    "star_query",
+    "DegreeDistribution",
+    "GraphSchema",
+    "Predicate",
+    "bib_schema",
+]

@@ -1,0 +1,368 @@
+"""Shape-controlled conjunctive query workload generation (§5.1).
+
+Generates chain, cycle, star, chain-star ("star-chain") and flower
+query workloads over a :class:`~repro.workload.schema.GraphSchema`,
+mirroring the four shapes gMark produces plus the paper's flower shape.
+Chains and cycles are the representatives of hypertreewidth 1 and 2
+used in the Figure 3 experiment.
+
+Queries are produced as ASK or SELECT text (the paper ran Ask
+workloads; gMark emitted Select, which the authors rewrote).  Each
+query's canonical graph is *guaranteed* to have the requested shape:
+type-compatible predicates are found by random walk over the schema
+graph, traversing predicates forward or backward — direction does not
+affect the canonical (undirected) graph.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import WorkloadError
+from .schema import GraphSchema, Predicate
+
+__all__ = [
+    "QueryShape",
+    "GeneratedQuery",
+    "generate_workload",
+    "chain_query",
+    "cycle_query",
+    "star_query",
+    "star_chain_query",
+    "flower_query",
+]
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """A generated query with its provenance."""
+
+    text: str
+    shape: str
+    length: int
+    query_form: str  # "ASK" or "SELECT"
+
+
+class QueryShape:
+    CHAIN = "chain"
+    CYCLE = "cycle"
+    STAR = "star"
+    STAR_CHAIN = "star-chain"
+    FLOWER = "flower"
+
+
+# ---------------------------------------------------------------------------
+# Schema walks
+# ---------------------------------------------------------------------------
+
+
+def _random_walk(
+    schema: GraphSchema,
+    length: int,
+    rng: random.Random,
+    start_type: Optional[str] = None,
+) -> Tuple[str, List[Tuple[Predicate, bool]]]:
+    """A type-compatible walk of *length* steps; returns the start type
+    and the step list (predicate, reversed?)."""
+    types = list(schema.node_types)
+    for _ in range(200):
+        current = start_type or rng.choice(types)
+        first = current
+        steps: List[Tuple[Predicate, bool]] = []
+        ok = True
+        for _ in range(length):
+            options = schema.steps_from(current)
+            if not options:
+                ok = False
+                break
+            predicate, reverse, next_type = rng.choice(options)
+            steps.append((predicate, reverse))
+            current = next_type
+        if ok:
+            return first, steps
+    raise WorkloadError("schema has no walks of the requested length")
+
+
+def _closed_walk(
+    schema: GraphSchema, length: int, rng: random.Random
+) -> Tuple[str, List[Tuple[Predicate, bool]]]:
+    """A walk that returns to its start type (for cycle queries)."""
+    types = list(schema.node_types)
+    for _ in range(2000):
+        start = rng.choice(types)
+        current = start
+        steps: List[Tuple[Predicate, bool]] = []
+        ok = True
+        for position in range(length):
+            options = schema.steps_from(current)
+            if position == length - 1:
+                options = [
+                    option for option in options if option[2] == start
+                ]
+            if not options:
+                ok = False
+                break
+            predicate, reverse, next_type = rng.choice(options)
+            steps.append((predicate, reverse))
+            current = next_type
+        if ok:
+            return start, steps
+    raise WorkloadError("schema has no closed walks of the requested length")
+
+
+def _triple_text(
+    schema: GraphSchema, subject: str, predicate: Predicate, reverse: bool, obj: str
+) -> str:
+    iri = f"<{predicate.iri(schema.namespace)}>"
+    if reverse:
+        return f"{obj} {iri} {subject} ."
+    return f"{subject} {iri} {obj} ."
+
+
+def _render(query_form: str, triples: Sequence[str], variables: Sequence[str]) -> str:
+    body = "\n  ".join(triples)
+    if query_form == "ASK":
+        return f"ASK WHERE {{\n  {body}\n}}"
+    head = " ".join(variables) if variables else "*"
+    return f"SELECT {head} WHERE {{\n  {body}\n}}"
+
+
+# ---------------------------------------------------------------------------
+# Individual shapes
+# ---------------------------------------------------------------------------
+
+
+def chain_query(
+    schema: GraphSchema,
+    length: int,
+    seed: int = 0,
+    query_form: str = "ASK",
+) -> GeneratedQuery:
+    """A chain query of *length* triples: x0 –p1– x1 – … –pk– xk."""
+    if length < 1:
+        raise WorkloadError("chain length must be ≥ 1")
+    rng = random.Random(seed)
+    _, steps = _random_walk(schema, length, rng)
+    triples = [
+        _triple_text(schema, f"?x{i}", predicate, reverse, f"?x{i + 1}")
+        for i, (predicate, reverse) in enumerate(steps)
+    ]
+    variables = [f"?x{i}" for i in range(length + 1)]
+    return GeneratedQuery(
+        _render(query_form, triples, variables),
+        QueryShape.CHAIN,
+        length,
+        query_form,
+    )
+
+
+def cycle_query(
+    schema: GraphSchema,
+    length: int,
+    seed: int = 0,
+    query_form: str = "ASK",
+) -> GeneratedQuery:
+    """A cycle query of *length* triples: x0 – x1 – … – x_{k-1} – x0."""
+    if length < 3:
+        raise WorkloadError("cycle length must be ≥ 3")
+    rng = random.Random(seed)
+    _, steps = _closed_walk(schema, length, rng)
+    triples = []
+    for i, (predicate, reverse) in enumerate(steps):
+        subject = f"?x{i}"
+        obj = f"?x{(i + 1) % length}"
+        triples.append(_triple_text(schema, subject, predicate, reverse, obj))
+    variables = [f"?x{i}" for i in range(length)]
+    return GeneratedQuery(
+        _render(query_form, triples, variables),
+        QueryShape.CYCLE,
+        length,
+        query_form,
+    )
+
+
+def star_query(
+    schema: GraphSchema,
+    branches: int,
+    seed: int = 0,
+    query_form: str = "ASK",
+) -> GeneratedQuery:
+    """A star: a center x0 with *branches* incident triples."""
+    if branches < 3:
+        raise WorkloadError("a star needs ≥ 3 branches")
+    rng = random.Random(seed)
+    types = list(schema.node_types)
+    for _ in range(200):
+        center_type = rng.choice(types)
+        options = schema.steps_from(center_type)
+        if options:
+            break
+    else:
+        raise WorkloadError("schema has no star centers")
+    triples = []
+    for branch in range(branches):
+        predicate, reverse, _ = rng.choice(options)
+        triples.append(
+            _triple_text(schema, "?x0", predicate, reverse, f"?y{branch}")
+        )
+    variables = ["?x0"] + [f"?y{branch}" for branch in range(branches)]
+    return GeneratedQuery(
+        _render(query_form, triples, variables),
+        QueryShape.STAR,
+        branches,
+        query_form,
+    )
+
+
+def star_chain_query(
+    schema: GraphSchema,
+    chain_length: int,
+    branches: int = 3,
+    seed: int = 0,
+    query_form: str = "ASK",
+) -> GeneratedQuery:
+    """gMark's chain-star shape: a chain with a star at its end."""
+    rng = random.Random(seed)
+    start_type, steps = _random_walk(schema, chain_length, rng)
+    triples = [
+        _triple_text(schema, f"?x{i}", predicate, reverse, f"?x{i + 1}")
+        for i, (predicate, reverse) in enumerate(steps)
+    ]
+    # Attach the star at the chain's end (?x0's type is start_type; the
+    # end type is whatever the walk reached — recompute it).
+    end_type = start_type
+    for predicate, reverse in steps:
+        end_type = predicate.source if reverse else predicate.target
+    options = schema.steps_from(end_type)
+    if not options:
+        raise WorkloadError("chain end type has no outgoing steps")
+    for branch in range(branches):
+        predicate, reverse, _ = rng.choice(options)
+        triples.append(
+            _triple_text(
+                schema, f"?x{chain_length}", predicate, reverse, f"?z{branch}"
+            )
+        )
+    variables = [f"?x{i}" for i in range(chain_length + 1)]
+    variables += [f"?z{branch}" for branch in range(branches)]
+    return GeneratedQuery(
+        _render(query_form, triples, variables),
+        QueryShape.STAR_CHAIN,
+        chain_length + branches,
+        query_form,
+    )
+
+
+def flower_query(
+    schema: GraphSchema,
+    petals: int = 2,
+    stamens: int = 2,
+    petal_length: int = 3,
+    seed: int = 0,
+    query_form: str = "ASK",
+) -> GeneratedQuery:
+    """A flower (Definition 6.1): a core with petals and stamens.
+
+    Petals are built as two parallel walks from the core to a shared
+    far node, guaranteeing ≥ 2 node-disjoint paths.
+    """
+    if petals < 1:
+        raise WorkloadError("a flower needs ≥ 1 petal")
+    rng = random.Random(seed)
+    types = list(schema.node_types)
+    # Find a core type with a closed walk of 2·petal_length (a petal is
+    # two internally-disjoint core→far walks of petal_length each).
+    core_type = None
+    for _ in range(200):
+        candidate = rng.choice(types)
+        try:
+            _closed_walk_from(schema, candidate, 2 * petal_length, rng)
+        except WorkloadError:
+            continue
+        core_type = candidate
+        break
+    if core_type is None:
+        raise WorkloadError("schema admits no petals")
+    triples: List[str] = []
+    variable_counter = [0]
+
+    def fresh() -> str:
+        variable_counter[0] += 1
+        return f"?v{variable_counter[0]}"
+
+    core = "?core"
+    for _ in range(petals):
+        walk = _closed_walk_from(schema, core_type, 2 * petal_length, rng)
+        previous = core
+        nodes = [fresh() for _ in range(2 * petal_length - 1)] + [core]
+        for (predicate, reverse), node in zip(walk, nodes):
+            triples.append(_triple_text(schema, previous, predicate, reverse, node))
+            previous = node
+    for _ in range(stamens):
+        options = schema.steps_from(core_type)
+        predicate, reverse, _ = rng.choice(options)
+        triples.append(_triple_text(schema, core, predicate, reverse, fresh()))
+    variables = [core]
+    return GeneratedQuery(
+        _render(query_form, triples, variables),
+        QueryShape.FLOWER,
+        len(triples),
+        query_form,
+    )
+
+
+def _closed_walk_from(
+    schema: GraphSchema, start: str, length: int, rng: random.Random
+) -> List[Tuple[Predicate, bool]]:
+    for _ in range(2000):
+        current = start
+        steps: List[Tuple[Predicate, bool]] = []
+        ok = True
+        for position in range(length):
+            options = schema.steps_from(current)
+            if position == length - 1:
+                options = [option for option in options if option[2] == start]
+            if not options:
+                ok = False
+                break
+            predicate, reverse, next_type = rng.choice(options)
+            steps.append((predicate, reverse))
+            current = next_type
+        if ok:
+            return steps
+    raise WorkloadError(f"no closed walk of length {length} from {start!r}")
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+_GENERATORS = {
+    QueryShape.CHAIN: chain_query,
+    QueryShape.CYCLE: cycle_query,
+    QueryShape.STAR: star_query,
+}
+
+
+def generate_workload(
+    schema: GraphSchema,
+    shape: str,
+    length: int,
+    count: int,
+    seed: int = 0,
+    query_form: str = "ASK",
+) -> List[GeneratedQuery]:
+    """A workload of *count* queries of one shape and length.
+
+    For chains and cycles this matches the paper's W-3 … W-8 workloads
+    (the paper used 100 queries per workload; benches scale that down).
+    """
+    generator = _GENERATORS.get(shape)
+    if generator is None:
+        raise WorkloadError(f"unknown workload shape {shape!r}")
+    return [
+        generator(schema, length, seed=seed * 10_000 + index, query_form=query_form)
+        for index in range(count)
+    ]

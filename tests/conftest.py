@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, Triple
+from repro.workload import bib_schema, generate_graph
+
+
+@pytest.fixture(scope="session")
+def schema():
+    return bib_schema()
+
+
+@pytest.fixture(scope="session")
+def small_graph(schema):
+    """A small deterministic gMark graph shared across engine tests."""
+    return generate_graph(schema, 200, seed=7)
+
+
+@pytest.fixture()
+def social_graph():
+    """A tiny hand-built graph with known answers."""
+    g = Graph()
+    knows = IRI("urn:knows")
+    name = IRI("urn:name")
+    age = IRI("urn:age")
+    alice, bob, carol, dave = (IRI(f"urn:{n}") for n in ("alice", "bob", "carol", "dave"))
+    g.add(Triple(alice, knows, bob))
+    g.add(Triple(bob, knows, carol))
+    g.add(Triple(carol, knows, alice))
+    g.add(Triple(carol, knows, dave))
+    g.add(Triple(alice, name, Literal("Alice")))
+    g.add(Triple(bob, name, Literal("Bob")))
+    g.add(Triple(carol, name, Literal("Carol")))
+    g.add(Triple(alice, age, Literal("30", datatype="http://www.w3.org/2001/XMLSchema#integer")))
+    g.add(Triple(bob, age, Literal("25", datatype="http://www.w3.org/2001/XMLSchema#integer")))
+    return g

@@ -1,0 +1,110 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, read_query_file
+from repro.logs import encode_access_log_line
+
+
+@pytest.fixture()
+def query_file(tmp_path):
+    path = tmp_path / "queries.rq"
+    path.write_text(
+        "SELECT ?x WHERE { ?x <urn:p> ?y }\n"
+        "ASK { ?a <urn:q> ?b . ?b <urn:r> ?a }\n"
+        "BROKEN {\n"
+    )
+    return path
+
+
+class TestReadQueryFile:
+    def test_line_format(self, query_file):
+        queries = read_query_file(query_file)
+        assert len(queries) == 3
+
+    def test_escaped_newlines(self, tmp_path):
+        path = tmp_path / "q.rq"
+        path.write_text("SELECT ?x WHERE {\\n ?x <urn:p> ?y\\n}\n")
+        queries = read_query_file(path)
+        assert len(queries) == 1
+        assert "\n" in queries[0]
+
+    def test_blank_line_blocks(self, tmp_path):
+        path = tmp_path / "q.rq"
+        path.write_text(
+            "SELECT ?x WHERE {\n  ?x <urn:p> ?y\n}\n"
+            "\n"
+            "ASK { ?s ?p ?o }\n"
+        )
+        queries = read_query_file(path)
+        assert len(queries) == 2
+        assert queries[0].startswith("SELECT")
+
+    def test_access_log_format(self, tmp_path):
+        path = tmp_path / "access.log"
+        lines = [
+            encode_access_log_line("ASK { ?s ?p ?o }"),
+            encode_access_log_line("SELECT * WHERE { ?s ?p ?o }"),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        queries = read_query_file(path)
+        assert queries == ["ASK { ?s ?p ?o }", "SELECT * WHERE { ?s ?p ?o }"]
+
+
+class TestCommands:
+    def test_analyze(self, query_file, capsys):
+        exit_code = main(["analyze", str(query_file)])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Table 1" in output
+        assert "Table 2" in output
+        assert "queries" in output  # table1 row present
+
+    def test_analyze_keep_duplicates(self, query_file, capsys):
+        assert main(["analyze", "--keep-duplicates", str(query_file)]) == 0
+
+    def test_corpus(self, tmp_path, capsys):
+        out_dir = tmp_path / "corpus"
+        exit_code = main(
+            ["corpus", "--scale", "5e-7", "--out", str(out_dir)]
+        )
+        assert exit_code == 0
+        files = list(out_dir.glob("*.log"))
+        assert len(files) == 13
+        # Generated files are themselves parseable by `analyze`.
+        sample = next(f for f in files if f.stat().st_size > 0)
+        assert main(["analyze", str(sample)]) == 0
+
+    def test_figure3(self, capsys):
+        exit_code = main(
+            [
+                "figure3", "--nodes", "150", "--timeout", "2.0",
+                "--queries", "2", "--lengths", "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "chain-W3 BG" in output
+        assert "cycle-W3 PG" in output
+
+    def test_streaks_synthetic(self, capsys):
+        exit_code = main(["streaks", "--synthetic", "60"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Table 6" in output
+
+    def test_streaks_file(self, tmp_path, capsys):
+        path = tmp_path / "day.log"
+        path.write_text(
+            'SELECT ?x WHERE { ?x <urn:name> "A" }\n'
+            'SELECT ?x WHERE { ?x <urn:name> "B" }\n'
+        )
+        assert main(["streaks", str(path)]) == 0
+        assert "longest streak" in capsys.readouterr().out
+
+    def test_streaks_requires_input(self, capsys):
+        assert main(["streaks"]) == 2
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])

@@ -1,0 +1,84 @@
+"""Unit tests for the engine profiles and workload running (Figure 3)."""
+
+import pytest
+
+from repro.engine import IndexedEngine, NestedLoopEngine, QueryRunResult
+from repro.exceptions import EvaluationTimeout
+from repro.workload import bib_schema, generate_graph, generate_workload
+
+
+class TestRun:
+    def test_run_reports_elapsed(self, social_graph):
+        engine = IndexedEngine(social_graph)
+        result = engine.run("ASK { <urn:alice> <urn:knows> <urn:bob> }")
+        assert result.result is True
+        assert result.elapsed >= 0
+        assert not result.timed_out
+
+    def test_elapsed_ns(self, social_graph):
+        result = IndexedEngine(social_graph).run("ASK { ?s ?p ?o }")
+        assert result.elapsed_ns == pytest.approx(result.elapsed * 1e9)
+
+    def test_timeout_recorded_not_raised(self, small_graph):
+        engine = NestedLoopEngine(small_graph, timeout=1e-9)
+        result = engine.run(
+            "SELECT * WHERE { ?a ?b ?c . ?c ?d ?e . ?e ?f ?g . ?g ?h ?i }"
+        )
+        assert result.timed_out
+        assert result.elapsed == engine.timeout
+
+    def test_evaluate_raises_timeout(self, small_graph):
+        engine = NestedLoopEngine(small_graph, timeout=1e-9)
+        with pytest.raises(EvaluationTimeout):
+            engine.evaluate(
+                "SELECT * WHERE { ?a ?b ?c . ?c ?d ?e . ?e ?f ?g . ?g ?h ?i }"
+            )
+
+    def test_no_timeout_without_limit(self, small_graph):
+        engine = IndexedEngine(small_graph)  # timeout=None
+        result = engine.run("SELECT * WHERE { ?a ?b ?c } LIMIT 5")
+        assert not result.timed_out
+
+
+class TestWorkloads:
+    def test_run_workload_aggregates(self, schema, small_graph):
+        workload = generate_workload(schema, "chain", 3, 4, seed=3)
+        engine = IndexedEngine(small_graph, timeout=5.0)
+        result = engine.run_workload([q.text for q in workload], label="chain-3")
+        assert result.engine == "BG"
+        assert result.workload == "chain-3"
+        assert len(result.runs) == 4
+        assert result.average_elapsed > 0
+        assert result.timeout_count == 0
+        assert result.timeout_rate == 0.0
+
+    def test_engines_agree_on_ask_results(self, schema, small_graph):
+        workload = generate_workload(schema, "chain", 3, 5, seed=9)
+        bg = IndexedEngine(small_graph, timeout=10.0)
+        pg = NestedLoopEngine(small_graph, timeout=10.0)
+        for query in workload:
+            a = bg.run(query.text)
+            b = pg.run(query.text)
+            if not (a.timed_out or b.timed_out):
+                assert a.result == b.result, query.text
+
+    def test_indexed_faster_than_scan_on_joins(self, schema):
+        """The Figure 3 mechanism: index joins beat nested-loop scans."""
+        graph = generate_graph(schema, 400, seed=11)
+        workload = generate_workload(schema, "chain", 4, 3, seed=5)
+        texts = [q.text for q in workload]
+        bg = IndexedEngine(graph, timeout=30.0).run_workload(texts)
+        pg = NestedLoopEngine(graph, timeout=30.0).run_workload(texts)
+        assert bg.average_elapsed < pg.average_elapsed
+
+    def test_empty_workload(self, small_graph):
+        result = IndexedEngine(small_graph).run_workload([], label="empty")
+        assert result.average_elapsed == 0.0
+        assert result.timeout_rate == 0.0
+
+
+class TestQueryRunResult:
+    def test_frozen(self):
+        result = QueryRunResult(elapsed=1.0, timed_out=False)
+        with pytest.raises(AttributeError):
+            result.elapsed = 2.0

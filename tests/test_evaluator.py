@@ -1,0 +1,340 @@
+"""Unit tests for SPARQL pattern/query evaluation."""
+
+import pytest
+
+from repro.engine import IndexedEngine, NestedLoopEngine, PatternEvaluator
+from repro.exceptions import EvaluationError
+from repro.rdf import Graph, IRI, Literal, Triple, Variable
+from repro.sparql import parse_query
+
+
+@pytest.fixture(params=["indexed", "scan"])
+def engine(request, social_graph):
+    cls = IndexedEngine if request.param == "indexed" else NestedLoopEngine
+    return cls(social_graph)
+
+
+def names_of(results, variable="n"):
+    return sorted(str(r[Variable(variable)]) for r in results if Variable(variable) in r)
+
+
+class TestBGP:
+    def test_single_pattern(self, engine):
+        rows = engine.evaluate("SELECT ?x WHERE { ?x <urn:knows> <urn:bob> }")
+        assert [r[Variable("x")] for r in rows] == [IRI("urn:alice")]
+
+    def test_join(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?n WHERE { <urn:alice> <urn:knows> ?f . ?f <urn:name> ?n }"
+        )
+        assert names_of(rows) == ["Bob"]
+
+    def test_cycle_join(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?a WHERE { ?a <urn:knows> ?b . ?b <urn:knows> ?c . "
+            "?c <urn:knows> ?a }"
+        )
+        assert {r[Variable("a")] for r in rows} == {
+            IRI("urn:alice"), IRI("urn:bob"), IRI("urn:carol"),
+        }
+
+    def test_shared_variable_constraint(self, engine):
+        rows = engine.evaluate("SELECT ?x WHERE { ?x <urn:knows> ?x }")
+        assert rows == []
+
+    def test_no_match(self, engine):
+        assert engine.evaluate("SELECT * WHERE { ?x <urn:nothere> ?y }") == []
+
+    def test_both_engines_agree(self, social_graph):
+        query = (
+            "SELECT ?a ?n WHERE { ?a <urn:knows> ?b . ?b <urn:name> ?n }"
+        )
+        indexed = IndexedEngine(social_graph).evaluate(query)
+        scanned = NestedLoopEngine(social_graph).evaluate(query)
+        canonical = lambda rows: sorted(
+            tuple(sorted((v.name, str(t)) for v, t in row.items())) for row in rows
+        )
+        assert canonical(indexed) == canonical(scanned)
+
+
+class TestAsk:
+    def test_true(self, engine):
+        assert engine.evaluate("ASK { <urn:alice> <urn:knows> <urn:bob> }") is True
+
+    def test_false(self, engine):
+        assert engine.evaluate("ASK { <urn:bob> <urn:knows> <urn:alice> }") is False
+
+
+class TestOptional:
+    def test_left_join_keeps_unmatched(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?x ?a WHERE { ?x <urn:name> ?n OPTIONAL { ?x <urn:age> ?a } }"
+        )
+        assert len(rows) == 3  # Alice, Bob, Carol
+        with_age = [r for r in rows if Variable("a") in r]
+        assert len(with_age) == 2
+
+    def test_optional_filter_semantics(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?n WHERE { ?x <urn:name> ?n OPTIONAL { ?x <urn:age> ?a } "
+            "FILTER(!BOUND(?a)) }"
+        )
+        assert names_of(rows) == ["Carol"]
+
+
+class TestUnionMinus:
+    def test_union(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?x WHERE { { ?x <urn:knows> <urn:bob> } UNION "
+            "{ ?x <urn:knows> <urn:dave> } }"
+        )
+        assert {r[Variable("x")] for r in rows} == {IRI("urn:alice"), IRI("urn:carol")}
+
+    def test_minus(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?x WHERE { ?x <urn:name> ?n MINUS { ?x <urn:age> ?a } }"
+        )
+        assert {r[Variable("x")] for r in rows} == {IRI("urn:carol")}
+
+    def test_minus_no_shared_vars_keeps_all(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?x WHERE { ?x <urn:name> ?n MINUS { ?z <urn:nothing> ?w } }"
+        )
+        assert len(rows) == 3
+
+
+class TestBindValues:
+    def test_bind(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?l WHERE { ?x <urn:name> ?n BIND(STRLEN(?n) AS ?l) }"
+        )
+        lengths = sorted(int(str(r[Variable("l")])) for r in rows)
+        assert lengths == [3, 5, 5]
+
+    def test_bind_error_leaves_unbound(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?l WHERE { ?x <urn:name> ?n BIND(?n + 1 AS ?l) }"
+        )
+        assert all(Variable("l") not in r for r in rows)
+
+    def test_values_restricts(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?n WHERE { ?x <urn:name> ?n VALUES ?x { <urn:alice> } }"
+        )
+        assert names_of(rows) == ["Alice"]
+
+    def test_trailing_values(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?n WHERE { ?x <urn:name> ?n } VALUES ?n { \"Bob\" }"
+        )
+        assert names_of(rows) == ["Bob"]
+
+
+class TestFilters:
+    def test_numeric_filter(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?x WHERE { ?x <urn:age> ?a FILTER(?a > 27) }"
+        )
+        assert [r[Variable("x")] for r in rows] == [IRI("urn:alice")]
+
+    def test_exists(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?n WHERE { ?x <urn:name> ?n "
+            "FILTER EXISTS { ?x <urn:age> ?a } }"
+        )
+        assert names_of(rows) == ["Alice", "Bob"]
+
+    def test_not_exists(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?n WHERE { ?x <urn:name> ?n "
+            "FILTER NOT EXISTS { ?x <urn:age> ?a } }"
+        )
+        assert names_of(rows) == ["Carol"]
+
+    def test_error_eliminates_solution(self, engine):
+        # ?n + 1 errors for strings: all solutions dropped, not raised.
+        rows = engine.evaluate(
+            "SELECT ?n WHERE { ?x <urn:name> ?n FILTER(?n + 1 > 0) }"
+        )
+        assert rows == []
+
+
+class TestModifiers:
+    def test_order_by(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?n WHERE { ?x <urn:name> ?n } ORDER BY ?n"
+        )
+        values = [str(r[Variable("n")]) for r in rows]
+        assert values == ["Alice", "Bob", "Carol"]
+
+    def test_order_by_desc_numeric(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?a WHERE { ?x <urn:age> ?a } ORDER BY DESC(?a)"
+        )
+        assert [int(str(r[Variable("a")])) for r in rows] == [30, 25]
+
+    def test_limit_offset(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?n WHERE { ?x <urn:name> ?n } ORDER BY ?n LIMIT 1 OFFSET 1"
+        )
+        assert names_of(rows) == ["Bob"]
+
+    def test_distinct(self, engine):
+        rows = engine.evaluate(
+            "SELECT DISTINCT ?p WHERE { ?s ?p ?o }"
+        )
+        assert len(rows) == 3  # knows, name, age
+
+    def test_projection_drops_variables(self, engine):
+        rows = engine.evaluate("SELECT ?n WHERE { ?x <urn:name> ?n }")
+        assert all(set(r) == {Variable("n")} for r in rows)
+
+
+class TestAggregation:
+    def test_count_group_by(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?x (COUNT(?f) AS ?c) WHERE { ?x <urn:knows> ?f } GROUP BY ?x"
+        )
+        by_subject = {str(r[Variable("x")]): int(str(r[Variable("c")])) for r in rows}
+        assert by_subject["urn:carol"] == 2
+        assert by_subject["urn:alice"] == 1
+
+    def test_count_star(self, engine):
+        rows = engine.evaluate("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }")
+        assert int(str(rows[0][Variable("n")])) == 9
+
+    def test_sum_avg_min_max(self, engine):
+        rows = engine.evaluate(
+            "SELECT (SUM(?a) AS ?s) (AVG(?a) AS ?avg) (MIN(?a) AS ?lo) "
+            "(MAX(?a) AS ?hi) WHERE { ?x <urn:age> ?a }"
+        )
+        row = rows[0]
+        assert int(str(row[Variable("s")])) == 55
+        assert float(str(row[Variable("avg")])) == 27.5
+        assert str(row[Variable("lo")]) == "25"
+        assert str(row[Variable("hi")]) == "30"
+
+    def test_having(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?x (COUNT(?f) AS ?c) WHERE { ?x <urn:knows> ?f } "
+            "GROUP BY ?x HAVING (COUNT(?f) > 1)"
+        )
+        assert len(rows) == 1
+        assert str(rows[0][Variable("x")]) == "urn:carol"
+
+    def test_group_concat(self, engine):
+        rows = engine.evaluate(
+            'SELECT (GROUP_CONCAT(?n; SEPARATOR="|") AS ?all) '
+            "WHERE { ?x <urn:name> ?n } "
+        )
+        parts = set(str(rows[0][Variable("all")]).split("|"))
+        assert parts == {"Alice", "Bob", "Carol"}
+
+
+class TestPaths:
+    def test_plus_closure(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?x WHERE { <urn:alice> <urn:knows>+ ?x }"
+        )
+        reached = {str(r[Variable("x")]) for r in rows}
+        assert reached == {"urn:alice", "urn:bob", "urn:carol", "urn:dave"}
+
+    def test_star_includes_zero_length(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?x WHERE { <urn:dave> <urn:knows>* ?x }"
+        )
+        assert {str(r[Variable("x")]) for r in rows} == {"urn:dave"}
+
+    def test_question_mark(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?x WHERE { <urn:alice> <urn:knows>? ?x }"
+        )
+        assert {str(r[Variable("x")]) for r in rows} == {"urn:alice", "urn:bob"}
+
+    def test_inverse(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?x WHERE { <urn:bob> ^<urn:knows> ?x }"
+        )
+        assert {str(r[Variable("x")]) for r in rows} == {"urn:alice"}
+
+    def test_sequence(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?x WHERE { <urn:alice> <urn:knows>/<urn:knows> ?x }"
+        )
+        assert {str(r[Variable("x")]) for r in rows} == {"urn:carol"}
+
+    def test_alternative(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?v WHERE { <urn:alice> <urn:name>|<urn:age> ?v }"
+        )
+        assert len(rows) == 2
+
+    def test_negated(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?v WHERE { <urn:alice> !<urn:knows> ?v }"
+        )
+        assert len(rows) == 2  # name + age
+
+    def test_fixed_both_ends(self, engine):
+        assert engine.evaluate(
+            "ASK { <urn:alice> <urn:knows>+ <urn:dave> }"
+        ) is True
+
+
+class TestOtherForms:
+    def test_construct(self, engine):
+        graph = engine.evaluate(
+            "CONSTRUCT { ?x <urn:label> ?n } WHERE { ?x <urn:name> ?n }"
+        )
+        assert len(graph) == 3
+        assert Triple(IRI("urn:alice"), IRI("urn:label"), Literal("Alice")) in graph
+
+    def test_describe(self, engine):
+        graph = engine.evaluate("DESCRIBE <urn:alice>")
+        # alice: 1 knows out, 1 knows in, name, age.
+        assert len(graph) == 4
+
+    def test_describe_variable(self, engine):
+        graph = engine.evaluate(
+            "DESCRIBE ?x WHERE { ?x <urn:age> ?a FILTER(?a > 27) }"
+        )
+        assert len(graph) == 4
+
+    def test_graph_clause_named_graphs(self, social_graph):
+        named = Graph()
+        named.add(Triple(IRI("urn:n1"), IRI("urn:p"), IRI("urn:n2")))
+        engine = IndexedEngine(social_graph, named_graphs={IRI("urn:g"): named})
+        rows = engine.evaluate("SELECT ?s WHERE { GRAPH <urn:g> { ?s ?p ?o } }")
+        assert len(rows) == 1
+        rows = engine.evaluate("SELECT ?g WHERE { GRAPH ?g { ?s ?p ?o } }")
+        assert rows[0][Variable("g")] == IRI("urn:g")
+
+    def test_missing_named_graph_empty(self, engine):
+        rows = engine.evaluate("SELECT * WHERE { GRAPH <urn:none> { ?s ?p ?o } }")
+        assert rows == []
+
+    def test_service_raises(self, engine):
+        with pytest.raises(EvaluationError):
+            engine.evaluate("SELECT * WHERE { SERVICE <urn:e> { ?s ?p ?o } }")
+
+    def test_subquery(self, engine):
+        rows = engine.evaluate(
+            "SELECT ?n WHERE { { SELECT ?x WHERE { ?x <urn:age> ?a "
+            "FILTER(?a > 27) } } ?x <urn:name> ?n }"
+        )
+        assert names_of(rows) == ["Alice"]
+
+
+class TestReordering:
+    def test_bgp_order_prefers_selective(self, social_graph):
+        from repro.engine import evaluate_bgp_order
+
+        query = parse_query(
+            "SELECT * WHERE { ?a ?p ?b . ?x <urn:age> ?v . "
+            "<urn:alice> <urn:name> ?n }"
+        )
+        triples = [e for e in query.pattern.elements]
+        ordered = evaluate_bgp_order(triples, social_graph)
+        # Most selective (fully constant-ish) first, full scan last.
+        assert ordered[0].subject == IRI("urn:alice")
+        assert isinstance(ordered[-1].predicate, Variable)

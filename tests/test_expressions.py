@@ -1,0 +1,201 @@
+"""Unit tests for the filter/expression evaluator."""
+
+import pytest
+
+from repro.engine.expressions import (
+    ExpressionError,
+    effective_boolean_value,
+    evaluate_expression,
+)
+from repro.rdf import IRI, BlankNode, Literal, Variable
+from repro.rdf.terms import XSD_BOOLEAN, XSD_DOUBLE, XSD_INTEGER
+from repro.sparql import parse_query
+
+
+def expression_of(filter_text):
+    query = parse_query(f"ASK {{ ?s ?p ?o FILTER({filter_text}) }}")
+    return query.pattern.elements[1].expression
+
+
+def evaluate(filter_text, **bindings):
+    binding = {Variable(k): v for k, v in bindings.items()}
+    return evaluate_expression(expression_of(filter_text), binding)
+
+
+def truth(filter_text, **bindings):
+    return effective_boolean_value(evaluate(filter_text, **bindings))
+
+
+def integer(value):
+    return Literal(str(value), datatype=XSD_INTEGER)
+
+
+class TestEBV:
+    def test_boolean_literals(self):
+        assert effective_boolean_value(Literal("true", datatype=XSD_BOOLEAN))
+        assert not effective_boolean_value(Literal("false", datatype=XSD_BOOLEAN))
+
+    def test_numbers(self):
+        assert effective_boolean_value(integer(5))
+        assert not effective_boolean_value(integer(0))
+
+    def test_strings(self):
+        assert effective_boolean_value(Literal("x"))
+        assert not effective_boolean_value(Literal(""))
+
+    def test_iri_has_no_ebv(self):
+        with pytest.raises(ExpressionError):
+            effective_boolean_value(IRI("urn:x"))
+
+
+class TestComparisons:
+    def test_numeric_equality_across_types(self):
+        assert truth("?o = 5.0", o=integer(5))
+
+    def test_numeric_ordering(self):
+        assert truth("?o < 10", o=integer(5))
+        assert not truth("?o > 10", o=integer(5))
+        assert truth("?o <= 5", o=integer(5))
+        assert truth("?o >= 5", o=integer(5))
+
+    def test_string_comparison(self):
+        assert truth('?o = "abc"', o=Literal("abc"))
+        assert truth('?o != "xyz"', o=Literal("abc"))
+        assert truth('?o < "b"', o=Literal("abc"))
+
+    def test_iri_equality(self):
+        assert truth("?o = <urn:x>", o=IRI("urn:x"))
+        assert truth("?o != <urn:y>", o=IRI("urn:x"))
+
+    def test_incomparable_types_error(self):
+        with pytest.raises(ExpressionError):
+            evaluate("?o < 5", o=IRI("urn:x"))
+
+    def test_unbound_variable_errors(self):
+        with pytest.raises(ExpressionError):
+            evaluate("?nope = 1")
+
+
+class TestLogic:
+    def test_and_or(self):
+        assert truth("?o > 1 && ?o < 10", o=integer(5))
+        assert truth("?o < 1 || ?o > 3", o=integer(5))
+        assert not truth("?o < 1 && ?o > 3", o=integer(5))
+
+    def test_not(self):
+        assert truth("!(?o = 1)", o=integer(5))
+
+    def test_or_error_absorption(self):
+        # One operand errors (unbound), the other is true → true.
+        assert truth("?o = 5 || ?unbound = 1", o=integer(5))
+
+    def test_or_all_false_with_error_raises(self):
+        with pytest.raises(ExpressionError):
+            evaluate("?o = 99 || ?unbound = 1", o=integer(5))
+
+    def test_and_error_absorption(self):
+        # One operand false → false even if the other errors.
+        assert not truth("?o = 99 && ?unbound = 1", o=integer(5))
+
+    def test_in_expression(self):
+        assert truth("?o IN (1, 5, 9)", o=integer(5))
+        assert truth("?o NOT IN (2, 3)", o=integer(5))
+
+
+class TestArithmetic:
+    def test_basic_operations(self):
+        assert truth("?o + 1 = 6", o=integer(5))
+        assert truth("?o - 1 = 4", o=integer(5))
+        assert truth("?o * 2 = 10", o=integer(5))
+        assert truth("?o / 2 = 2.5", o=integer(5))
+
+    def test_division_by_zero_errors(self):
+        with pytest.raises(ExpressionError):
+            evaluate("?o / 0 = 1", o=integer(5))
+
+    def test_unary_minus(self):
+        assert truth("-?o = -5", o=integer(5))
+
+    def test_arithmetic_on_string_errors(self):
+        with pytest.raises(ExpressionError):
+            evaluate("?o + 1 = 2", o=Literal("abc"))
+
+
+class TestBuiltins:
+    def test_bound(self):
+        assert truth("BOUND(?o)", o=integer(1))
+        assert not truth("BOUND(?other)", o=integer(1))
+
+    def test_str_of_iri(self):
+        assert truth('STR(?o) = "urn:x"', o=IRI("urn:x"))
+
+    def test_lang(self):
+        assert truth('LANG(?o) = "en"', o=Literal("hi", language="en"))
+        assert truth('LANG(?o) = ""', o=Literal("hi"))
+
+    def test_langmatches(self):
+        assert truth(
+            'LANGMATCHES(LANG(?o), "en")', o=Literal("hi", language="en-US")
+        )
+        assert truth('LANGMATCHES(LANG(?o), "*")', o=Literal("hi", language="fr"))
+
+    def test_datatype(self):
+        assert truth(
+            f"DATATYPE(?o) = <{XSD_INTEGER}>", o=integer(5)
+        )
+
+    def test_string_builtins(self):
+        assert truth("STRLEN(?o) = 3", o=Literal("abc"))
+        assert truth('UCASE(?o) = "ABC"', o=Literal("abc"))
+        assert truth('LCASE(?o) = "abc"', o=Literal("ABC"))
+        assert truth('CONTAINS(?o, "b")', o=Literal("abc"))
+        assert truth('STRSTARTS(?o, "ab")', o=Literal("abc"))
+        assert truth('STRENDS(?o, "bc")', o=Literal("abc"))
+        assert truth('CONCAT(?o, "d") = "abcd"', o=Literal("abc"))
+        assert truth('SUBSTR(?o, 2) = "bc"', o=Literal("abc"))
+        assert truth('SUBSTR(?o, 1, 2) = "ab"', o=Literal("abc"))
+
+    def test_regex(self):
+        assert truth('REGEX(?o, "^a.c$")', o=Literal("abc"))
+        assert truth('REGEX(?o, "ABC", "i")', o=Literal("abc"))
+        assert not truth('REGEX(?o, "xyz")', o=Literal("abc"))
+
+    def test_bad_regex_errors(self):
+        with pytest.raises(ExpressionError):
+            evaluate('REGEX(?o, "[")', o=Literal("abc"))
+
+    def test_numeric_builtins(self):
+        assert truth("ABS(?o) = 5", o=integer(-5))
+        assert truth("CEIL(2.1) = 3")
+        assert truth("FLOOR(2.9) = 2")
+        assert truth("ROUND(2.5) = 2")  # Python banker's rounding
+
+    def test_type_tests(self):
+        assert truth("ISIRI(?o)", o=IRI("urn:x"))
+        assert truth("ISBLANK(?o)", o=BlankNode("b"))
+        assert truth("ISLITERAL(?o)", o=Literal("x"))
+        assert truth("ISNUMERIC(?o)", o=integer(5))
+        assert not truth("ISNUMERIC(?o)", o=Literal("5"))
+
+    def test_coalesce(self):
+        assert truth("COALESCE(?unbound, 5) = 5", o=integer(1))
+
+    def test_if(self):
+        assert truth("IF(?o > 3, 1, 2) = 1", o=integer(5))
+        assert truth("IF(?o > 9, 1, 2) = 2", o=integer(5))
+
+    def test_sameterm(self):
+        assert truth("SAMETERM(?o, ?o)", o=integer(5))
+
+    def test_iri_builtin(self):
+        assert truth('IRI("urn:x") = <urn:x>')
+
+    def test_xsd_cast(self):
+        assert truth(
+            "<http://www.w3.org/2001/XMLSchema#integer>(?o) = 5",
+            o=Literal("5"),
+        )
+
+    def test_unsupported_builtin_errors(self):
+        with pytest.raises(ExpressionError):
+            evaluate("UUID() = 1")

@@ -1,0 +1,72 @@
+"""Unit tests for namespace management."""
+
+import pytest
+
+from repro.rdf import IRI, Namespace, NamespaceManager, WELL_KNOWN_PREFIXES
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        foaf = Namespace("http://xmlns.com/foaf/0.1/")
+        assert foaf.name == IRI("http://xmlns.com/foaf/0.1/name")
+
+    def test_item_access(self):
+        ns = Namespace("urn:x:")
+        assert ns["class"] == IRI("urn:x:class")
+
+    def test_contains(self):
+        ns = Namespace("urn:x:")
+        assert IRI("urn:x:a") in ns
+        assert IRI("urn:y:a") not in ns
+
+    def test_private_attribute_raises(self):
+        ns = Namespace("urn:x:")
+        with pytest.raises(AttributeError):
+            ns._hidden
+
+
+class TestNamespaceManager:
+    def test_expand(self):
+        manager = NamespaceManager({"ex": "urn:example:"})
+        assert manager.expand("ex", "thing") == IRI("urn:example:thing")
+
+    def test_expand_unknown_prefix_raises(self):
+        manager = NamespaceManager()
+        with pytest.raises(KeyError):
+            manager.expand("nope", "thing")
+
+    def test_bind_replaces(self):
+        manager = NamespaceManager({"ex": "urn:a:"})
+        manager.bind("ex", "urn:b:")
+        assert manager.expand("ex", "x") == IRI("urn:b:x")
+
+    def test_compact(self):
+        manager = NamespaceManager({"foaf": "http://xmlns.com/foaf/0.1/"})
+        assert manager.compact(IRI("http://xmlns.com/foaf/0.1/name")) == "foaf:name"
+
+    def test_compact_prefers_longest_namespace(self):
+        manager = NamespaceManager({"a": "urn:x:", "b": "urn:x:y/"})
+        assert manager.compact(IRI("urn:x:y/z")) == "b:z"
+
+    def test_compact_refuses_slashes_in_local(self):
+        manager = NamespaceManager({"a": "urn:x/"})
+        assert manager.compact(IRI("urn:x/deep/path")) is None
+
+    def test_compact_unknown(self):
+        manager = NamespaceManager()
+        assert manager.compact(IRI("urn:other:x")) is None
+
+    def test_with_well_known(self):
+        manager = NamespaceManager.with_well_known()
+        assert "rdf" in manager
+        assert manager.expand("rdfs", "label") == IRI(
+            "http://www.w3.org/2000/01/rdf-schema#label"
+        )
+
+    def test_len_and_bindings(self):
+        manager = NamespaceManager({"a": "urn:a:", "b": "urn:b:"})
+        assert len(manager) == 2
+        assert list(manager.bindings()) == [("a", "urn:a:"), ("b", "urn:b:")]
+
+    def test_well_known_includes_wikidata(self):
+        assert WELL_KNOWN_PREFIXES["wdt"].startswith("http://www.wikidata.org/")

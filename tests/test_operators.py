@@ -1,0 +1,113 @@
+"""Unit tests for Table 3 operator-set classification."""
+
+from repro.analysis import classify_operators
+from repro.analysis.operators import Operator, TABLE3_ROWS
+from repro.sparql import parse_query
+
+
+def classify(text):
+    return classify_operators(parse_query(text))
+
+
+class TestOperatorSets:
+    def test_none(self):
+        c = classify("SELECT * WHERE { ?s <urn:p> ?o }")
+        assert c.operators == frozenset()
+        assert c.pure
+
+    def test_bodyless_query_is_none(self):
+        c = classify("DESCRIBE <urn:x>")
+        assert c.operators == frozenset() and c.pure
+
+    def test_filter_only(self):
+        c = classify("SELECT * WHERE { ?s <urn:p> ?o FILTER(?o > 1) }")
+        assert c.letters == frozenset("F")
+
+    def test_and_only(self):
+        c = classify("SELECT * WHERE { ?s <urn:p> ?o . ?o <urn:q> ?z }")
+        assert c.letters == frozenset("A")
+
+    def test_and_filter(self):
+        c = classify(
+            "SELECT * WHERE { ?s <urn:p> ?o . ?o <urn:q> ?z FILTER(?z = 1) }"
+        )
+        assert c.letters == frozenset("AF")
+
+    def test_full_aouf(self):
+        c = classify(
+            "SELECT * WHERE { ?s <urn:p> ?o . ?o <urn:q> ?z "
+            "OPTIONAL { ?z <urn:r> ?w } "
+            "{ ?s <urn:x> ?a } UNION { ?s <urn:y> ?a } FILTER(?o != 1) }"
+        )
+        assert c.letters == frozenset("AOUF")
+        assert c.pure
+
+    def test_graph(self):
+        c = classify("SELECT * WHERE { GRAPH <urn:g> { ?s ?p ?o } }")
+        assert c.letters == frozenset("G")
+
+    def test_property_path_impure(self):
+        c = classify("SELECT * WHERE { ?s <urn:p>* ?o }")
+        assert not c.pure
+
+    def test_bind_impure(self):
+        assert not classify("SELECT * WHERE { ?s ?p ?o BIND(1 AS ?x) }").pure
+
+    def test_minus_impure(self):
+        assert not classify(
+            "SELECT * WHERE { ?s ?p ?o MINUS { ?s <urn:q> ?o } }"
+        ).pure
+
+    def test_subquery_impure(self):
+        assert not classify(
+            "SELECT * WHERE { { SELECT ?x WHERE { ?x <urn:p> ?y } } }"
+        ).pure
+
+    def test_exists_filter_impure(self):
+        c = classify("SELECT * WHERE { ?s ?p ?o FILTER EXISTS { ?s <urn:q> ?z } }")
+        assert not c.pure
+
+    def test_values_impure(self):
+        assert not classify("SELECT * WHERE { VALUES ?x { 1 } ?x <urn:p> ?y }").pure
+
+
+class TestCPF:
+    def test_cpf_membership(self):
+        assert classify("SELECT * WHERE { ?s <urn:p> ?o }").is_cpf()
+        assert classify(
+            "SELECT * WHERE { ?s <urn:p> ?o . ?o <urn:q> ?z FILTER(?z > 1) }"
+        ).is_cpf()
+        assert not classify(
+            "SELECT * WHERE { ?s ?p ?o OPTIONAL { ?o <urn:q> ?z } }"
+        ).is_cpf()
+
+    def test_cpf_plus_opt(self):
+        c = classify(
+            "SELECT * WHERE { ?s <urn:p> ?o OPTIONAL { ?o <urn:q> ?z } }"
+        )
+        assert c.in_cpf_plus(Operator.OPT)
+        assert not c.in_cpf_plus(Operator.UNION)
+
+    def test_cpf_plus_excludes_mixed(self):
+        c = classify(
+            "SELECT * WHERE { ?s <urn:p> ?o OPTIONAL { ?o <urn:q> ?z } "
+            "{ ?s <urn:a> ?b } UNION { ?s <urn:c> ?b } }"
+        )
+        assert not c.in_cpf_plus(Operator.OPT)
+        assert not c.in_cpf_plus(Operator.UNION)
+
+
+class TestTable3Rows:
+    def test_row_count_matches_paper(self):
+        # 14 operator-set rows (incl. "none"), as in Table 3.
+        assert len(TABLE3_ROWS) == 14
+
+    def test_nested_groups_of_one_do_not_count_as_and(self):
+        c = classify("SELECT * WHERE { { ?s <urn:p> ?o } }")
+        assert c.letters == frozenset()
+
+    def test_union_branches_with_single_triples(self):
+        c = classify(
+            "SELECT * WHERE { { ?s <urn:a> ?o } UNION { ?s <urn:b> ?o } }"
+        )
+        assert c.letters == frozenset("U")

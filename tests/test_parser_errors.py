@@ -1,0 +1,63 @@
+"""Parser rejection tests: the Valid/Total split of Table 1 depends on
+malformed inputs being *rejected*, not silently accepted."""
+
+import pytest
+
+from repro.exceptions import SparqlSyntaxError
+from repro.sparql import parse_query
+
+
+INVALID_QUERIES = [
+    # The paper's one unparseable Wikidata query had missing closing
+    # braces and a bad aggregate — both must fail.
+    "SELECT ?x WHERE { ?x <urn:p> ?y",
+    "SELECT COUNT(?x) WHERE { ?x ?p ?o }",  # aggregate without AS binding
+    "",  # empty input
+    "FOO BAR",  # not a query form
+    "SELECT WHERE { ?s ?p ?o }",  # missing projection
+    "SELECT ?x { ?x <urn:p> }",  # missing object
+    "ASK { ?s ?p ?o ",  # unterminated group
+    "SELECT * WHERE { ?s ?p ?o } LIMIT ?x",  # non-integer limit
+    "SELECT * WHERE { ?s ?p ?o } LIMIT",  # missing integer
+    "PREFIX ex <urn:p:> SELECT * WHERE { ?s ?p ?o }",  # missing colon
+    "SELECT * WHERE { ?s ex:p ?o }",  # undeclared prefix
+    "SELECT * WHERE { ?s ?p ?o } trailing",  # trailing junk
+    "SELECT * WHERE { FILTER }",  # filter without constraint
+    "SELECT * WHERE { ?s ?p ?o } GROUP BY",  # empty group by
+    "SELECT * WHERE { ?s ?p ?o } ORDER BY",  # empty order by
+    "SELECT (?x) WHERE { ?x ?p ?o }",  # projection expr without AS
+    "SELECT * WHERE { BIND(1) }",  # bind without AS
+    "SELECT * WHERE { VALUES (?x) { (1 2) } }",  # arity mismatch
+    "DESCRIBE",  # describe without target
+    'ASK { ?s <urn:p> "unclosed }',  # unterminated string
+    "CONSTRUCT { ?s ?p ?o OPTIONAL { ?a ?b ?c } } WHERE { ?s ?p ?o }",
+]
+
+
+@pytest.mark.parametrize("text", INVALID_QUERIES)
+def test_invalid_query_rejected(text):
+    with pytest.raises(SparqlSyntaxError):
+        parse_query(text)
+
+
+def test_error_reports_location():
+    with pytest.raises(SparqlSyntaxError) as info:
+        parse_query("SELECT *\nWHERE { ?s ?p }")
+    assert info.value.line == 2
+
+
+def test_error_message_mentions_expectation():
+    with pytest.raises(SparqlSyntaxError, match="SELECT"):
+        parse_query("UPDATE something")
+
+
+def test_public_art_in_paris_style_query_rejected():
+    # Mirrors the malformed Wikidata example the paper footnotes:
+    # missing closing braces and a bad aggregate.
+    text = """
+    SELECT ?item (COUNT ?x AS ?c) WHERE {
+      ?item <urn:locatedIn> <urn:Paris> .
+      { SELECT ?x WHERE { ?x <urn:type> <urn:PublicArt>
+    """
+    with pytest.raises(SparqlSyntaxError):
+        parse_query(text)

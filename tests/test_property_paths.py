@@ -1,0 +1,125 @@
+"""Unit tests for the property-path taxonomy and Ctract (Table 5, §7)."""
+
+import pytest
+
+from repro.analysis import classify_path, in_ctract, is_navigational
+from repro.sparql import ast, parse_query
+
+
+def path_of(text):
+    query = parse_query(f"ASK {{ ?s {text} ?o }}")
+    element = query.pattern.elements[0]
+    assert isinstance(element, ast.PathPattern), f"{text} parsed as triple"
+    return element.path
+
+
+class TestSimpleForms:
+    def test_negated_single_is_simple(self):
+        c = classify_path(path_of("!<urn:a>"))
+        assert not c.navigational
+        assert c.simple_form == "!a"
+
+    def test_inverse_single_is_simple(self):
+        c = classify_path(path_of("^<urn:a>"))
+        assert not c.navigational
+        assert c.simple_form == "^a"
+
+    def test_simple_forms_are_ctract(self):
+        assert classify_path(path_of("!<urn:a>")).ctract
+        assert classify_path(path_of("^<urn:a>")).ctract
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize(
+        "text,expected,k",
+        [
+            ("(<urn:a>|<urn:b>)*", "(a1|...|ak)*", 2),
+            ("(<urn:a>|<urn:b>|<urn:c>|<urn:d>)*", "(a1|...|ak)*", 4),
+            ("<urn:a>*", "a*", None),
+            ("<urn:a>/<urn:b>", "a1/.../ak", 2),
+            ("<urn:a>/<urn:b>/<urn:c>/<urn:d>/<urn:e>/<urn:f>", "a1/.../ak", 6),
+            ("<urn:a>*/<urn:b>", "a*/b", None),
+            ("<urn:b>/<urn:a>*", "a*/b", None),  # symmetric form
+            ("<urn:a>|<urn:b>", "a1|...|ak", 2),
+            ("<urn:a>+", "a+", None),
+            ("<urn:a>?/<urn:b>?", "a1?/.../ak?", 2),
+            ("<urn:a>/(<urn:b>|<urn:c>)", "a(b1|...|bk)", 2),
+            ("<urn:a>/<urn:b>?/<urn:c>?", "a1/a2?/.../ak?", 3),
+            ("(<urn:a>/<urn:b>*)|<urn:c>", "(a/b*)|c", None),
+            ("<urn:a>*/<urn:b>?", "a*/b?", None),
+            ("<urn:a>/<urn:b>/<urn:c>*", "a/b/c*", None),
+            ("!(<urn:a>|<urn:b>)", "!(a|b)", 2),
+            ("(<urn:a>|<urn:b>)+", "(a1|...|ak)+", 2),
+            (
+                "(<urn:a>|<urn:b>)/(<urn:a>|<urn:b>)",
+                "(a1|...|ak)(a1|...|ak)",
+                2,
+            ),
+            ("<urn:a>?|<urn:b>", "a?|b", None),
+            ("<urn:a>*|<urn:b>", "a*|b", None),
+            ("(<urn:a>|<urn:b>)?", "(a|b)?", None),
+            ("<urn:a>|<urn:b>+", "a|b+", None),
+            ("<urn:a>+|<urn:b>+", "a+|b+", None),
+            ("(<urn:a>/<urn:b>)*", "(a/b)*", 2),
+        ],
+    )
+    def test_expression_type(self, text, expected, k):
+        c = classify_path(path_of(text))
+        assert c.expression_type == expected
+        assert c.k == k
+        assert c.navigational
+
+    def test_inverse_atom_inside_counts_as_letter(self):
+        # (^a)/b classifies like a/b.
+        c = classify_path(path_of("^<urn:a>/<urn:b>"))
+        assert c.expression_type == "a1/.../ak"
+
+    def test_negated_atom_inside_counts_as_letter(self):
+        c = classify_path(path_of("!<urn:a>/<urn:b>"))
+        assert c.expression_type == "a1/.../ak"
+
+    def test_unknown_shape_is_other(self):
+        c = classify_path(path_of("(<urn:a>*/<urn:b>*)|(<urn:c>/<urn:d>/<urn:e>*)"))
+        assert c.expression_type == "other"
+
+    def test_different_alternation_sets_not_squared(self):
+        c = classify_path(path_of("(<urn:a>|<urn:b>)/(<urn:c>|<urn:d>)"))
+        assert c.expression_type != "(a1|...|ak)(a1|...|ak)"
+
+
+class TestCtract:
+    def test_letter_star_tractable(self):
+        assert in_ctract(path_of("<urn:a>*"))
+
+    def test_alternation_star_tractable(self):
+        assert in_ctract(path_of("(<urn:a>|<urn:b>)*"))
+
+    def test_word_star_intractable(self):
+        assert not in_ctract(path_of("(<urn:a>/<urn:b>)*"))
+
+    def test_nested_star_intractable(self):
+        assert not in_ctract(path_of("(<urn:a>*/<urn:b>)*"))
+
+    def test_sequence_of_tractable_parts(self):
+        assert in_ctract(path_of("<urn:a>*/<urn:b>"))
+
+    def test_plus_over_word_intractable(self):
+        assert not in_ctract(path_of("(<urn:a>/<urn:b>)+"))
+
+    def test_optional_letter_in_loop_ok(self):
+        assert in_ctract(path_of("(<urn:a>?)*"))
+
+    def test_paper_finding_only_word_star_fails(self):
+        """Every Table 5 type except (a/b)* must be in Ctract."""
+        tractable_samples = [
+            "(<urn:a>|<urn:b>)*", "<urn:a>*", "<urn:a>/<urn:b>",
+            "<urn:a>*/<urn:b>", "<urn:a>|<urn:b>", "<urn:a>+",
+            "<urn:a>?/<urn:b>?", "<urn:a>/(<urn:b>|<urn:c>)",
+            "(<urn:a>/<urn:b>*)|<urn:c>", "<urn:a>*/<urn:b>?",
+            "<urn:a>/<urn:b>/<urn:c>*", "!(<urn:a>|<urn:b>)",
+            "(<urn:a>|<urn:b>)+", "<urn:a>?|<urn:b>", "<urn:a>*|<urn:b>",
+            "(<urn:a>|<urn:b>)?", "<urn:a>|<urn:b>+", "<urn:a>+|<urn:b>+",
+        ]
+        for text in tractable_samples:
+            assert in_ctract(path_of(text)), text
+        assert not in_ctract(path_of("(<urn:a>/<urn:b>)*"))

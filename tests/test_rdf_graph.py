@@ -1,0 +1,140 @@
+"""Unit tests for the indexed graph store."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, Triple
+
+S = IRI("urn:s")
+P = IRI("urn:p")
+Q = IRI("urn:q")
+O = IRI("urn:o")
+O2 = IRI("urn:o2")
+
+
+@pytest.fixture()
+def graph():
+    g = Graph()
+    g.add(Triple(S, P, O))
+    g.add(Triple(S, P, O2))
+    g.add(Triple(S, Q, O))
+    g.add(Triple(O, P, O2))
+    return g
+
+
+class TestMutation:
+    def test_add_returns_true_for_new(self):
+        g = Graph()
+        assert g.add(Triple(S, P, O)) is True
+
+    def test_add_duplicate_returns_false(self, graph):
+        assert graph.add(Triple(S, P, O)) is False
+        assert len(graph) == 4
+
+    def test_remove(self, graph):
+        assert graph.remove(Triple(S, P, O)) is True
+        assert Triple(S, P, O) not in graph
+        assert len(graph) == 3
+
+    def test_remove_missing_returns_false(self, graph):
+        assert graph.remove(Triple(O2, P, O)) is False
+
+    def test_remove_cleans_indexes(self, graph):
+        graph.remove(Triple(O, P, O2))
+        assert list(graph.match(s=O)) == []
+        assert graph.count_matches(p=P) == 2
+
+    def test_update_counts_inserted(self, graph):
+        inserted = graph.update([Triple(S, P, O), Triple(O2, P, O)])
+        assert inserted == 1
+
+    def test_add_spo_convenience(self):
+        g = Graph()
+        assert g.add_spo(S, P, O)
+        assert Triple(S, P, O) in g
+
+    def test_constructor_accepts_triples(self):
+        g = Graph([Triple(S, P, O), Triple(S, P, O)])
+        assert len(g) == 1
+
+
+class TestMatch:
+    def test_fully_bound(self, graph):
+        assert list(graph.match(S, P, O)) == [Triple(S, P, O)]
+        assert list(graph.match(S, P, IRI("urn:none"))) == []
+
+    def test_sp_bound(self, graph):
+        objects = {t.object for t in graph.match(S, P)}
+        assert objects == {O, O2}
+
+    def test_po_bound(self, graph):
+        subjects = {t.subject for t in graph.match(p=P, o=O2)}
+        assert subjects == {S, O}
+
+    def test_so_bound(self, graph):
+        predicates = {t.predicate for t in graph.match(s=S, o=O)}
+        assert predicates == {P, Q}
+
+    def test_s_bound(self, graph):
+        assert len(list(graph.match(s=S))) == 3
+
+    def test_p_bound(self, graph):
+        assert len(list(graph.match(p=P))) == 3
+
+    def test_o_bound(self, graph):
+        assert len(list(graph.match(o=O))) == 2
+
+    def test_unbound_scans_all(self, graph):
+        assert len(list(graph.match())) == 4
+
+
+class TestCounts:
+    def test_count_all(self, graph):
+        assert graph.count_matches() == 4
+
+    def test_count_sp(self, graph):
+        assert graph.count_matches(s=S, p=P) == 2
+
+    def test_count_po(self, graph):
+        assert graph.count_matches(p=P, o=O2) == 2
+
+    def test_count_predicate(self, graph):
+        assert graph.count_matches(p=P) == 3
+        assert graph.count_matches(p=IRI("urn:none")) == 0
+
+    def test_predicate_histogram(self, graph):
+        assert graph.predicate_histogram() == {P: 3, Q: 1}
+
+
+class TestVocabulary:
+    def test_subjects(self, graph):
+        assert graph.subjects() == {S, O}
+
+    def test_predicates(self, graph):
+        assert graph.predicates() == {P, Q}
+
+    def test_objects(self, graph):
+        assert graph.objects() == {O, O2}
+
+    def test_nodes(self, graph):
+        assert graph.nodes() == {S, O, O2}
+
+
+class TestDescribe:
+    def test_describe_includes_both_directions(self, graph):
+        triples = graph.describe(O)
+        assert Triple(O, P, O2) in triples
+        assert Triple(S, P, O) in triples
+        assert Triple(S, Q, O) in triples
+        assert len(triples) == 3
+
+    def test_describe_literal_only_object_position(self):
+        g = Graph()
+        lit = Literal("x")
+        g.add(Triple(S, P, lit))
+        assert g.describe(lit) == [Triple(S, P, lit)]
+
+    def test_copy_is_independent(self, graph):
+        clone = graph.copy()
+        clone.add(Triple(O2, P, O))
+        assert len(graph) == 4
+        assert len(clone) == 5

@@ -1,0 +1,88 @@
+"""Unit tests for N-Triples reading and writing."""
+
+import io
+
+import pytest
+
+from repro.rdf import Graph, IRI, BlankNode, Literal, Triple, ntriples
+from repro.rdf.ntriples import NTriplesError
+
+
+SAMPLE = """\
+# a comment
+<urn:s> <urn:p> <urn:o> .
+<urn:s> <urn:p> "hello" .
+<urn:s> <urn:p> "bonjour"@fr .
+<urn:s> <urn:p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b0 <urn:p> _:b1 .
+
+<urn:s> <urn:q> "tab\\there" .
+"""
+
+
+class TestLoads:
+    def test_counts(self):
+        graph = ntriples.loads(SAMPLE)
+        assert len(graph) == 6
+
+    def test_language_literal(self):
+        graph = ntriples.loads(SAMPLE)
+        assert Triple(IRI("urn:s"), IRI("urn:p"), Literal("bonjour", language="fr")) in graph
+
+    def test_typed_literal(self):
+        graph = ntriples.loads(SAMPLE)
+        expected = Literal("5", datatype="http://www.w3.org/2001/XMLSchema#integer")
+        assert Triple(IRI("urn:s"), IRI("urn:p"), expected) in graph
+
+    def test_blank_nodes(self):
+        graph = ntriples.loads(SAMPLE)
+        assert Triple(BlankNode("b0"), IRI("urn:p"), BlankNode("b1")) in graph
+
+    def test_escape_decoding(self):
+        graph = ntriples.loads(SAMPLE)
+        assert Triple(IRI("urn:s"), IRI("urn:q"), Literal("tab\there")) in graph
+
+    def test_unicode_escape(self):
+        graph = ntriples.loads('<urn:s> <urn:p> "\\u00e9" .')
+        assert Triple(IRI("urn:s"), IRI("urn:p"), Literal("é")) in graph
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(NTriplesError) as info:
+            ntriples.loads("<urn:s> <urn:p> <urn:o>")
+        assert info.value.line_number == 1
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(NTriplesError):
+            ntriples.loads('"lit" <urn:p> <urn:o> .')
+
+    def test_blank_predicate_rejected(self):
+        with pytest.raises(NTriplesError):
+            ntriples.loads("<urn:s> _:b <urn:o> .")
+
+    def test_garbage_rejected_with_line_number(self):
+        with pytest.raises(NTriplesError) as info:
+            ntriples.loads("<urn:s> <urn:p> <urn:o> .\n???")
+        assert info.value.line_number == 2
+
+
+class TestDumps:
+    def test_round_trip(self):
+        graph = ntriples.loads(SAMPLE)
+        again = ntriples.loads(ntriples.dumps(graph))
+        assert set(again) == set(graph)
+
+    def test_deterministic_order(self):
+        graph = ntriples.loads(SAMPLE)
+        assert ntriples.dumps(graph) == ntriples.dumps(graph.copy())
+
+    def test_dump_load_file_objects(self):
+        graph = ntriples.loads(SAMPLE)
+        buffer = io.StringIO()
+        ntriples.dump(graph, buffer)
+        buffer.seek(0)
+        assert set(ntriples.load(buffer)) == set(graph)
+
+    def test_escapes_survive_round_trip(self):
+        g = Graph()
+        g.add(Triple(IRI("urn:s"), IRI("urn:p"), Literal('a"b\\c\nd')))
+        assert set(ntriples.loads(ntriples.dumps(g))) == set(g)

@@ -1,0 +1,140 @@
+"""Unit tests for the RDF term model."""
+
+import pytest
+
+from repro.rdf import (
+    IRI,
+    BlankNode,
+    Literal,
+    Triple,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+from repro.rdf.terms import RDF_LANGSTRING, XSD_STRING
+
+
+class TestIRI:
+    def test_sparql_text(self):
+        assert IRI("http://example.org/a").sparql_text() == "<http://example.org/a>"
+
+    def test_equality_and_hash(self):
+        assert IRI("urn:a") == IRI("urn:a")
+        assert hash(IRI("urn:a")) == hash(IRI("urn:a"))
+        assert IRI("urn:a") != IRI("urn:b")
+
+    def test_local_name_hash_separator(self):
+        assert IRI("http://example.org/ns#label").local_name() == "label"
+
+    def test_local_name_slash_separator(self):
+        assert IRI("http://example.org/ns/label").local_name() == "label"
+
+    def test_local_name_no_separator(self):
+        assert IRI("urn:isbn:123").local_name() == "urn:isbn:123"
+
+    def test_is_constant(self):
+        assert IRI("urn:a").is_constant()
+        assert not IRI("urn:a").is_variable()
+
+
+class TestLiteral:
+    def test_plain_literal_text(self):
+        assert Literal("hello").sparql_text() == '"hello"'
+
+    def test_language_literal_text(self):
+        assert Literal("hello", language="en").sparql_text() == '"hello"@en'
+
+    def test_typed_literal_text(self):
+        literal = Literal("5", datatype=XSD_INTEGER)
+        assert literal.sparql_text() == f'"5"^^<{XSD_INTEGER}>'
+
+    def test_escaping(self):
+        assert Literal('a"b\nc\\d').sparql_text() == '"a\\"b\\nc\\\\d"'
+
+    def test_language_and_datatype_conflict(self):
+        with pytest.raises(ValueError):
+            Literal("x", language="en", datatype=XSD_INTEGER)
+
+    def test_effective_datatype_plain(self):
+        assert Literal("x").effective_datatype == XSD_STRING
+
+    def test_effective_datatype_language(self):
+        assert Literal("x", language="en").effective_datatype == RDF_LANGSTRING
+
+    def test_is_numeric(self):
+        assert Literal("5", datatype=XSD_INTEGER).is_numeric()
+        assert Literal("5.5", datatype=XSD_DECIMAL).is_numeric()
+        assert Literal("5e3", datatype=XSD_DOUBLE).is_numeric()
+        assert not Literal("5").is_numeric()
+
+    def test_python_value(self):
+        assert Literal("5", datatype=XSD_INTEGER).python_value() == 5
+        assert Literal("2.5", datatype=XSD_DOUBLE).python_value() == 2.5
+        assert Literal("true", datatype=XSD_BOOLEAN).python_value() is True
+        assert Literal("false", datatype=XSD_BOOLEAN).python_value() is False
+        assert Literal("plain").python_value() == "plain"
+
+
+class TestVariable:
+    def test_text(self):
+        assert Variable("x").sparql_text() == "?x"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+        with pytest.raises(ValueError):
+            Variable("a b")
+
+    def test_is_variable(self):
+        assert Variable("x").is_variable()
+        assert not Variable("x").is_constant()
+
+
+class TestBlankNode:
+    def test_text(self):
+        assert BlankNode("b0").sparql_text() == "_:b0"
+
+    def test_not_constant(self):
+        assert not BlankNode("b0").is_constant()
+
+
+class TestOrdering:
+    def test_kind_order(self):
+        blank = BlankNode("b")
+        iri = IRI("urn:a")
+        literal = Literal("a")
+        variable = Variable("v")
+        assert sorted(
+            [variable, literal, iri, blank], key=lambda t: t.sort_key()
+        ) == [blank, iri, literal, variable]
+
+    def test_lt_operator(self):
+        assert BlankNode("a") < IRI("urn:a") < Literal("a") < Variable("a")
+
+
+class TestTriple:
+    def test_valid_triple(self):
+        triple = Triple(IRI("urn:s"), IRI("urn:p"), Literal("o"))
+        assert list(triple) == [IRI("urn:s"), IRI("urn:p"), Literal("o")]
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ValueError):
+            Triple(Literal("s"), IRI("urn:p"), IRI("urn:o"))
+
+    def test_variable_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            Triple(IRI("urn:s"), Variable("p"), IRI("urn:o"))
+
+    def test_blank_subject_allowed(self):
+        Triple(BlankNode("b"), IRI("urn:p"), IRI("urn:o"))
+
+    def test_sparql_text(self):
+        triple = Triple(IRI("urn:s"), IRI("urn:p"), IRI("urn:o"))
+        assert triple.sparql_text() == "<urn:s> <urn:p> <urn:o> ."
+
+    def test_sort_key_orders_triples(self):
+        t1 = Triple(IRI("urn:a"), IRI("urn:p"), IRI("urn:x"))
+        t2 = Triple(IRI("urn:b"), IRI("urn:p"), IRI("urn:x"))
+        assert sorted([t2, t1], key=Triple.sort_key) == [t1, t2]

@@ -1,0 +1,137 @@
+"""Unit tests for the table/figure renderers."""
+
+from repro.analysis.study import study_corpus
+from repro.engine import QueryRunResult, WorkloadRunResult
+from repro.logs import build_query_log
+from repro.reporting import (
+    render_figure1,
+    render_figure3,
+    render_figure5,
+    render_fragments,
+    render_hypertree,
+    render_projection,
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+
+
+def sample_study():
+    queries = [
+        "SELECT ?s WHERE { ?s <urn:p> ?o }",
+        "ASK { ?a <urn:p> ?b . ?b <urn:q> ?c . ?c <urn:r> ?a }",
+        "SELECT * WHERE { ?s <urn:p>* ?o }",
+        "ASK { ?s !<urn:x> ?o }",
+        "DESCRIBE <urn:thing>",
+    ]
+    logs = {"sample": build_query_log("sample", queries)}
+    return logs, study_corpus(logs)
+
+
+class TestRenderers:
+    def test_render_table_alignment(self):
+        text = render_table("T", ("a", "bb"), [("x", "1"), ("yyyy", "22")])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6
+
+    def test_table1(self):
+        logs, _ = sample_study()
+        text = render_table1(logs)
+        assert "Table 1" in text
+        assert "sample" in text
+        assert "Total" in text
+
+    def test_table2(self):
+        _, study = sample_study()
+        text = render_table2(study)
+        assert "Select" in text and "Ask" in text
+        assert "%" in text
+
+    def test_figure1(self):
+        _, study = sample_study()
+        text = render_figure1(study)
+        assert "11+" in text
+        assert "Avg#T" in text
+        assert "S/A" in text
+
+    def test_table3(self):
+        _, study = sample_study()
+        text = render_table3(study)
+        assert "CPF subtotal" in text
+        assert "CPF+O" in text
+        assert "other features" in text
+
+    def test_projection(self):
+        _, study = sample_study()
+        text = render_projection(study)
+        assert "projection bounds" in text
+
+    def test_fragments(self):
+        _, study = sample_study()
+        text = render_fragments(study)
+        assert "AOF patterns" in text
+        assert "CQOF" in text
+
+    def test_figure5(self):
+        _, study = sample_study()
+        text = render_figure5(study)
+        assert "11+" in text
+
+    def test_table4(self):
+        _, study = sample_study()
+        text = render_table4(study)
+        assert "single edge" in text
+        assert "flower set" in text
+        assert "treewidth <= 2" in text
+        assert "constants" in text
+
+    def test_table5(self):
+        _, study = sample_study()
+        text = render_table5(study)
+        assert "a*" in text
+        assert "Ctract" in text
+
+    def test_hypertree(self):
+        _, study = sample_study()
+        text = render_hypertree(study)
+        assert "Hypertree" in text or "hypertree" in text
+
+    def test_table6(self):
+        histograms = {
+            "DBP'14": {"1-10": 5, "11-20": 1},
+            "DBP'15": {"1-10": 7, "11-20": 0},
+        }
+        text = render_table6(histograms)
+        assert "DBP'14" in text and "1-10" in text
+
+    def test_figure3(self):
+        runs = (
+            QueryRunResult(elapsed=0.01, timed_out=False),
+            QueryRunResult(elapsed=0.3, timed_out=True),
+        )
+        results = [
+            WorkloadRunResult(engine="BG", workload="chain-3", runs=runs),
+            WorkloadRunResult(engine="PG", workload="cycle-3", runs=runs),
+        ]
+        text = render_figure3(results)
+        assert "chain-3 BG" in text
+        assert "1/2 t/o" in text
+
+    def test_small_percentage_formatting(self):
+        _, study = sample_study()
+        # Smoke-check the <0.01% path via render_table2 on tiny counts.
+        assert "%" in render_table2(study)
+
+    def test_dataset_highlights(self):
+        from repro.reporting import render_dataset_highlights
+
+        _, study = sample_study()
+        text = render_dataset_highlights(study)
+        assert "sample" in text
+        assert "Distinct" in text and "Graph" in text

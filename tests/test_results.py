@@ -1,0 +1,115 @@
+"""Unit tests for SPARQL results serialization."""
+
+import json
+
+import pytest
+
+from repro.engine import IndexedEngine
+from repro.engine.results import (
+    boolean_to_json,
+    results_from_json,
+    results_to_csv,
+    results_to_json,
+)
+from repro.rdf import IRI, BlankNode, Literal, Variable
+
+
+@pytest.fixture()
+def solutions():
+    return [
+        {
+            Variable("s"): IRI("urn:alice"),
+            Variable("n"): Literal("Alice"),
+        },
+        {
+            Variable("s"): BlankNode("b0"),
+            Variable("n"): Literal("25", datatype="http://www.w3.org/2001/XMLSchema#integer"),
+        },
+        {
+            Variable("s"): IRI("urn:carol"),
+            # ?n unbound
+        },
+    ]
+
+
+class TestJson:
+    def test_structure(self, solutions):
+        document = json.loads(results_to_json(solutions))
+        assert document["head"]["vars"] == ["s", "n"]
+        assert len(document["results"]["bindings"]) == 3
+
+    def test_term_types(self, solutions):
+        document = json.loads(results_to_json(solutions))
+        first = document["results"]["bindings"][0]
+        assert first["s"] == {"type": "uri", "value": "urn:alice"}
+        assert first["n"] == {"type": "literal", "value": "Alice"}
+        second = document["results"]["bindings"][1]
+        assert second["s"]["type"] == "bnode"
+        assert second["n"]["datatype"].endswith("integer")
+
+    def test_language_tag(self):
+        solutions = [{Variable("l"): Literal("bonjour", language="fr")}]
+        document = json.loads(results_to_json(solutions))
+        assert document["results"]["bindings"][0]["l"]["xml:lang"] == "fr"
+
+    def test_unbound_omitted(self, solutions):
+        document = json.loads(results_to_json(solutions))
+        assert "n" not in document["results"]["bindings"][2]
+
+    def test_round_trip(self, solutions):
+        text = results_to_json(solutions)
+        assert results_from_json(text) == solutions
+
+    def test_explicit_variable_order(self, solutions):
+        text = results_to_json(solutions, variables=[Variable("n"), Variable("s")])
+        assert json.loads(text)["head"]["vars"] == ["n", "s"]
+
+    def test_boolean(self):
+        assert json.loads(boolean_to_json(True))["boolean"] is True
+        assert json.loads(boolean_to_json(False))["boolean"] is False
+
+    def test_typed_literal_legacy_alias(self):
+        text = json.dumps(
+            {
+                "head": {"vars": ["x"]},
+                "results": {
+                    "bindings": [
+                        {"x": {"type": "typed-literal", "value": "5",
+                               "datatype": "urn:t"}}
+                    ]
+                },
+            }
+        )
+        parsed = results_from_json(text)
+        assert parsed[0][Variable("x")] == Literal("5", datatype="urn:t")
+
+
+class TestCsv:
+    def test_header_and_rows(self, solutions):
+        text = results_to_csv(solutions)
+        lines = text.strip().split("\r\n")
+        assert lines[0] == "s,n"
+        assert lines[1] == "urn:alice,Alice"
+        assert lines[2] == "_:b0,25"
+        assert lines[3] == "urn:carol,"
+
+    def test_quoting(self):
+        solutions = [{Variable("v"): Literal('has,comma "and quotes"')}]
+        text = results_to_csv(solutions)
+        assert '"has,comma ""and quotes"""' in text
+
+    def test_empty_results(self):
+        assert results_to_csv([]) == "\r\n"
+
+
+class TestEngineIntegration:
+    def test_engine_output_serializes(self, social_graph):
+        engine = IndexedEngine(social_graph)
+        rows = engine.evaluate(
+            "SELECT ?x ?n WHERE { ?x <urn:name> ?n } ORDER BY ?n"
+        )
+        document = json.loads(results_to_json(rows))
+        values = [b["n"]["value"] for b in document["results"]["bindings"]]
+        assert values == ["Alice", "Bob", "Carol"]
+        csv_text = results_to_csv(rows)
+        assert "Alice" in csv_text

@@ -1,0 +1,82 @@
+"""Serializer round-trip tests: serialize(parse(q)) reparses to an
+equal AST."""
+
+import pytest
+
+from repro.sparql import ast, parse_query, serialize_path, serialize_query
+
+ROUND_TRIP_QUERIES = [
+    "SELECT ?x WHERE { ?x <urn:p> ?y }",
+    "SELECT DISTINCT * WHERE { ?x <urn:p> ?y }",
+    "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }",
+    "ASK WHERE { <urn:s> <urn:p> \"lit\"@en }",
+    "ASK WHERE { ?s <urn:p> \"5\"^^<urn:dt> }",
+    "CONSTRUCT { ?s <urn:p> ?o } WHERE { ?s <urn:q> ?o }",
+    "DESCRIBE <urn:x> <urn:y>",
+    "DESCRIBE ?x WHERE { ?x <urn:p> 1 }",
+    "SELECT * WHERE { ?s <urn:p> ?o OPTIONAL { ?o <urn:q> ?z } }",
+    "SELECT * WHERE { { ?s <urn:a> ?o } UNION { ?s <urn:b> ?o } }",
+    "SELECT * WHERE { ?s ?p ?o MINUS { ?s <urn:x> ?o } }",
+    "SELECT * WHERE { GRAPH ?g { ?s ?p ?o } }",
+    "SELECT * WHERE { SERVICE SILENT <urn:e> { ?s ?p ?o } }",
+    "SELECT * WHERE { ?s ?p ?o BIND(STRLEN(?o) AS ?l) }",
+    "SELECT * WHERE { VALUES (?a ?b) { (1 2) (UNDEF <urn:x>) } }",
+    "SELECT * WHERE { ?s ?p ?o FILTER(?o > 5 && ?o < 10 || !BOUND(?p)) }",
+    "SELECT * WHERE { ?s ?p ?o FILTER(?o IN (1, 2)) }",
+    "SELECT * WHERE { ?s ?p ?o FILTER NOT EXISTS { ?s <urn:q> ?z } }",
+    "SELECT * WHERE { ?s <urn:a>/<urn:b>* ?o }",
+    "SELECT * WHERE { ?s ^<urn:a>|!(<urn:b>|^<urn:c>) ?o }",
+    "SELECT * WHERE { ?s (<urn:a>|<urn:b>)+ ?o }",
+    "SELECT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) LIMIT 5 OFFSET 2",
+    "SELECT ?s (SUM(?v) AS ?t) WHERE { ?s <urn:v> ?v } GROUP BY ?s "
+    "HAVING (SUM(?v) > 10)",
+    "SELECT (GROUP_CONCAT(?n; SEPARATOR=\"; \") AS ?g) WHERE { ?x <urn:n> ?n }",
+    "SELECT ?m WHERE { { SELECT (MAX(?v) AS ?m) WHERE { ?s <urn:v> ?v } } }",
+    "SELECT * FROM <urn:g> FROM NAMED <urn:h> WHERE { ?s ?p ?o }",
+    "SELECT * WHERE { ?s ?p ?o } VALUES ?s { <urn:a> <urn:b> }",
+    "SELECT * WHERE { ?s ?p ?o FILTER(-?o = 3 - 4 / 2) }",
+]
+
+
+@pytest.mark.parametrize("text", ROUND_TRIP_QUERIES)
+def test_round_trip(text):
+    original = parse_query(text)
+    serialized = serialize_query(original)
+    reparsed = parse_query(serialized)
+    assert reparsed.query_type == original.query_type
+    assert reparsed.pattern == original.pattern
+    assert reparsed.projection == original.projection
+    assert reparsed.modifier == original.modifier
+    assert reparsed.values == original.values
+    assert reparsed.template == original.template
+    assert reparsed.describe_targets == original.describe_targets
+    assert reparsed.datasets == original.datasets
+
+
+def test_round_trip_is_stable():
+    """Serialization is a fixed point after one round."""
+    text = "SELECT DISTINCT ?x WHERE { ?x <urn:p> ?y FILTER(?y > 1) } LIMIT 3"
+    once = serialize_query(parse_query(text))
+    twice = serialize_query(parse_query(once))
+    assert once == twice
+
+
+def test_serialize_path_parenthesization():
+    # (a|b)/c must not serialize as a|b/c.
+    query = parse_query("ASK { ?s (<urn:a>|<urn:b>)/<urn:c> ?o }")
+    path = query.pattern.elements[0].path
+    text = serialize_path(path)
+    reparsed = parse_query(f"ASK {{ ?s {text} ?o }}")
+    assert reparsed.pattern.elements[0].path == path
+
+
+def test_expression_precedence_survives():
+    query = parse_query("ASK { ?s ?p ?o FILTER((?a || ?b) && ?c) }")
+    reparsed = parse_query(serialize_query(query))
+    expression = reparsed.pattern.elements[1].expression
+    assert isinstance(expression, ast.AndExpression)
+
+
+def test_bodyless_describe_serializes():
+    query = parse_query("DESCRIBE <urn:thing>")
+    assert "WHERE" not in serialize_query(query)

@@ -1,0 +1,109 @@
+"""Unit tests for the refined streak metrics (§8 future work)."""
+
+import pytest
+
+from repro.analysis import compute_streak_metrics, find_streaks, keyword_evolution
+from repro.analysis.streaks import Streak
+
+
+class TestKeywordEvolution:
+    def test_added_keyword(self):
+        added, removed = keyword_evolution(
+            "SELECT ?x WHERE { ?x <urn:p> 1 }",
+            "SELECT DISTINCT ?x WHERE { ?x <urn:p> 1 } ORDER BY ?x",
+        )
+        assert "DISTINCT" in added and "ORDER" in added
+        assert removed == ()
+
+    def test_removed_keyword(self):
+        added, removed = keyword_evolution(
+            "SELECT ?x WHERE { ?x <urn:p> 1 } LIMIT 10",
+            "SELECT ?x WHERE { ?x <urn:p> 1 }",
+        )
+        assert "LIMIT" in removed
+
+    def test_case_insensitive(self):
+        added, _ = keyword_evolution(
+            "select ?x where { ?x <urn:p> 1 }",
+            "select ?x where { ?x <urn:p> 1 } limit 5",
+        )
+        assert "LIMIT" in added
+
+    def test_variable_names_not_keywords(self):
+        added, removed = keyword_evolution(
+            "SELECT ?limit WHERE { ?limit <urn:p> 1 }",
+            "SELECT ?limit WHERE { ?limit <urn:p> 2 }",
+        )
+        # ?limit contains the word but as a variable; \b matches it —
+        # both sides contain it, so no evolution either way.
+        assert added == () and removed == ()
+
+
+class TestMetrics:
+    def make_log_and_streak(self, texts):
+        streak = Streak(
+            indices=list(range(len(texts))),
+            tail_text=texts[-1],
+            tail_stripped=texts[-1],
+        )
+        return texts, streak
+
+    def test_singleton_metrics(self):
+        log, streak = self.make_log_and_streak(["SELECT ?x WHERE { ?x ?p 1 }"])
+        metrics = compute_streak_metrics(streak, log)
+        assert metrics.length == 1
+        assert metrics.span == 1
+        assert metrics.density == 1.0
+        assert metrics.drift == 0.0
+        assert metrics.mean_step == 0.0
+
+    def test_directed_refinement(self):
+        log, streak = self.make_log_and_streak(
+            [
+                'SELECT ?x WHERE { ?x <urn:name> "A" }',
+                'SELECT ?x WHERE { ?x <urn:name> "AB" }',
+                'SELECT ?x WHERE { ?x <urn:name> "ABC" }',
+                'SELECT ?x WHERE { ?x <urn:name> "ABCD" }',
+            ]
+        )
+        metrics = compute_streak_metrics(streak, log)
+        assert metrics.length == 4
+        assert metrics.drift > metrics.mean_step
+        assert metrics.is_directed
+
+    def test_oscillating_refinement(self):
+        log, streak = self.make_log_and_streak(
+            [
+                'SELECT ?x WHERE { ?x <urn:name> "AAAA" }',
+                'SELECT ?x WHERE { ?x <urn:name> "BBBB" }',
+                'SELECT ?x WHERE { ?x <urn:name> "AAAA" }',
+            ]
+        )
+        metrics = compute_streak_metrics(streak, log)
+        assert metrics.drift == 0.0
+        assert metrics.mean_step > 0.0
+        assert not metrics.is_directed
+
+    def test_span_and_density_with_gaps(self):
+        texts = [
+            'SELECT ?x WHERE { ?x <urn:name> "A" }',
+            "ASK { <urn:other> <urn:noise> <urn:entry> }",
+            'SELECT ?x WHERE { ?x <urn:name> "B" }',
+        ]
+        streak = Streak(indices=[0, 2], tail_text=texts[2], tail_stripped=texts[2])
+        metrics = compute_streak_metrics(streak, texts)
+        assert metrics.span == 3
+        assert metrics.density == pytest.approx(2 / 3)
+
+    def test_end_to_end_with_detector(self):
+        log = [
+            'SELECT ?x WHERE { ?x <urn:name> "Alice" }',
+            'SELECT ?x WHERE { ?x <urn:name> "Alice" } LIMIT 10',
+            'SELECT DISTINCT ?x WHERE { ?x <urn:name> "Alice" } LIMIT 10',
+        ]
+        streaks = find_streaks(log, window=30)
+        longest = max(streaks, key=lambda s: s.length)
+        metrics = compute_streak_metrics(longest, log)
+        assert metrics.length == 3
+        assert "LIMIT" in metrics.keywords_added
+        assert "DISTINCT" in metrics.keywords_added

@@ -1,0 +1,172 @@
+"""Unit tests for Levenshtein distance and streak detection (§8)."""
+
+import pytest
+
+from repro.analysis import (
+    find_streaks,
+    levenshtein,
+    queries_similar,
+    streak_length_histogram,
+    strip_prefixes,
+)
+from repro.analysis.streaks import StreakDetector
+
+
+class TestLevenshtein:
+    def test_identity(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_empty_strings(self):
+        assert levenshtein("", "") == 0
+        assert levenshtein("", "abc") == 3
+
+    def test_symmetry(self):
+        assert levenshtein("flaw", "lawn") == levenshtein("lawn", "flaw")
+
+    def test_banded_equals_full_within_budget(self):
+        pairs = [("kitten", "sitting"), ("abcdef", "azcdef"), ("x", "xy")]
+        for a, b in pairs:
+            full = levenshtein(a, b)
+            banded = levenshtein(a, b, max_distance=full)
+            assert banded == full
+
+    def test_banded_gives_up_over_budget(self):
+        assert levenshtein("kitten", "sitting", max_distance=2) is None
+
+    def test_banded_length_gap_short_circuit(self):
+        assert levenshtein("a", "a" * 50, max_distance=5) is None
+
+    def test_zero_budget(self):
+        assert levenshtein("abc", "abc", max_distance=0) == 0
+        assert levenshtein("abc", "abd", max_distance=0) is None
+
+
+class TestStripPrefixes:
+    def test_strips_prefix_declarations(self):
+        text = "PREFIX foaf: <urn:f:>\nSELECT ?x WHERE { ?x ?p ?o }"
+        assert strip_prefixes(text) == "SELECT ?x WHERE { ?x ?p ?o }"
+
+    def test_keeps_text_without_keyword(self):
+        assert strip_prefixes("garbage") == "garbage"
+
+    def test_case_insensitive(self):
+        assert strip_prefixes("PREFIX a: <urn:> select ?x").startswith("select")
+
+    def test_all_four_query_forms(self):
+        for keyword in ("SELECT", "ASK", "CONSTRUCT", "DESCRIBE"):
+            text = f"PREFIX a: <urn:>\n{keyword} stuff"
+            assert strip_prefixes(text) == f"{keyword} stuff"
+
+
+class TestSimilarity:
+    def test_prefixes_do_not_create_similarity(self):
+        a = "PREFIX verylongprefix: <urn:averylongiri:>\nSELECT ?a WHERE { ?a <urn:x> 1 }"
+        b = "PREFIX verylongprefix: <urn:averylongiri:>\nASK { ?completely ?different <urn:thing> }"
+        assert not queries_similar(a, b)
+
+    def test_small_edit_is_similar(self):
+        a = "SELECT ?x WHERE { ?x <urn:name> \"Alice\" }"
+        b = "SELECT ?x WHERE { ?x <urn:name> \"Alicia\" }"
+        assert queries_similar(a, b)
+
+    def test_different_queries_not_similar(self):
+        a = "SELECT ?x WHERE { ?x <urn:name> ?n }"
+        b = "CONSTRUCT { ?a <urn:b> ?c } WHERE { ?a <urn:other> ?c . ?c <urn:more> ?d }"
+        assert not queries_similar(a, b)
+
+    def test_threshold_boundary(self):
+        # 4 chars changed of 40 → 10% ≤ 25%.
+        a = "SELECT ?x WHERE { ?x <urn:p> \"aaaa\" } ##"
+        b = "SELECT ?x WHERE { ?x <urn:p> \"bbbb\" } ##"
+        assert queries_similar(a, b)
+
+
+class TestStreakDetection:
+    def test_refinement_chain_forms_one_streak(self):
+        base = 'SELECT ?x WHERE { ?x <urn:name> "Alice%d" }'
+        queries = [base % i for i in range(5)]
+        streaks = find_streaks(queries, window=30)
+        assert len(streaks) == 1
+        assert streaks[0].length == 5
+
+    def test_unrelated_queries_form_singletons(self):
+        queries = [
+            "SELECT ?x WHERE { ?x <urn:aaaaaaaaaa> ?y }",
+            "CONSTRUCT { ?q <urn:w> ?e } WHERE { ?q <urn:zzzz> ?e . ?e ?r ?t }",
+            "ASK { <urn:completely> <urn:different> <urn:thing> }",
+        ]
+        streaks = find_streaks(queries, window=30)
+        assert sorted(s.length for s in streaks) == [1, 1, 1]
+
+    def test_window_limits_matching(self):
+        similar_a = 'SELECT ?x WHERE { ?x <urn:name> "Alice" }'
+        similar_b = 'SELECT ?x WHERE { ?x <urn:name> "Alize" }'
+        # Fillers must be dissimilar both to the Alice queries and to
+        # one another (wildly different lengths and vocabulary).
+        fillers = [
+            "ASK { <urn:zz> <urn:yy> <urn:xx> }",
+            "CONSTRUCT { ?q <urn:w> ?e } WHERE { ?q <urn:building> ?e . "
+            "?e <urn:architect> ?t . ?t <urn:country> <urn:France> }",
+            "DESCRIBE <urn:some/very/long/resource/identifier/123456789>",
+            "SELECT (COUNT(*) AS ?total) WHERE { ?s ?p ?o } GROUP BY ?s",
+            "ASK { ?m <urn:museum> ?c . ?c <urn:city> <urn:Rome> }",
+        ]
+        queries = [similar_a] + fillers + [similar_b]
+        wide = find_streaks(queries, window=10)
+        narrow = find_streaks(queries, window=2)
+        assert max(s.length for s in wide) == 2
+        assert max(s.length for s in narrow) == 1
+
+    def test_interleaved_streaks(self):
+        a = ['SELECT ?x WHERE { ?x <urn:aaaa> "a%d" }' % i for i in range(3)]
+        b = ['ASK { ?ppppp <urn:zzzz> "zzz%d" . ?ppppp ?q ?r }' % i for i in range(3)]
+        queries = [a[0], b[0], a[1], b[1], a[2], b[2]]
+        streaks = find_streaks(queries, window=30)
+        lengths = sorted(s.length for s in streaks)
+        assert lengths == [3, 3]
+
+    def test_streak_indices_are_positions(self):
+        queries = [
+            "ASK { <urn:unrelated> <urn:filler> <urn:entry> }",
+            'SELECT ?x WHERE { ?x <urn:name> "Bob" }',
+            'SELECT ?x WHERE { ?x <urn:name> "Bobby" }',
+        ]
+        streaks = find_streaks(queries, window=30)
+        two = next(s for s in streaks if s.length == 2)
+        assert two.indices == [1, 2]
+
+    def test_detector_close_flushes_active(self):
+        detector = StreakDetector(window=5)
+        detector.push("SELECT ?x WHERE { ?x <urn:p> 1 }")
+        assert detector.finished == []
+        finished = detector.close()
+        assert len(finished) == 1
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            StreakDetector(window=0)
+
+
+class TestHistogram:
+    def test_bucket_edges(self):
+        class FakeStreak:
+            def __init__(self, length):
+                self.length = length
+
+        streaks = [FakeStreak(n) for n in (1, 10, 11, 30, 100, 101, 169)]
+        histogram = streak_length_histogram(streaks)
+        assert histogram["1-10"] == 2
+        assert histogram["11-20"] == 1
+        assert histogram["21-30"] == 1
+        assert histogram["91-100"] == 1
+        assert histogram[">100"] == 2
+
+    def test_all_table6_buckets_present(self):
+        histogram = streak_length_histogram([])
+        assert list(histogram) == [
+            "1-10", "11-20", "21-30", "31-40", "41-50", "51-60",
+            "61-70", "71-80", "81-90", "91-100", ">100",
+        ]

@@ -1,0 +1,160 @@
+"""Unit tests for the Turtle reader/writer."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, BlankNode, Literal, NamespaceManager, Triple
+from repro.rdf import turtle
+from repro.rdf.turtle import TurtleError
+
+RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+
+SAMPLE = """
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix ex: <urn:example:> .
+
+ex:alice a foaf:Person ;
+    foaf:name "Alice" ;
+    foaf:knows ex:bob, ex:carol .
+
+ex:bob foaf:name "Bob"@en ;
+    foaf:age 25 .
+
+ex:carol foaf:height 1.75 ;
+    foaf:active true .
+"""
+
+
+class TestLoads:
+    def test_counts(self):
+        # alice: type + name + 2 knows; bob: name + age; carol: 2.
+        graph = turtle.loads(SAMPLE)
+        assert len(graph) == 8
+
+    def test_a_keyword(self):
+        graph = turtle.loads(SAMPLE)
+        assert Triple(
+            IRI("urn:example:alice"), RDF_TYPE, IRI("http://xmlns.com/foaf/0.1/Person")
+        ) in graph
+
+    def test_semicolon_and_comma(self):
+        graph = turtle.loads(SAMPLE)
+        knows = IRI("http://xmlns.com/foaf/0.1/knows")
+        assert graph.count_matches(s=IRI("urn:example:alice"), p=knows) == 2
+
+    def test_language_literal(self):
+        graph = turtle.loads(SAMPLE)
+        assert graph.count_matches(o=Literal("Bob", language="en")) == 1
+
+    def test_numeric_literals(self):
+        graph = turtle.loads(SAMPLE)
+        age = Literal("25", datatype="http://www.w3.org/2001/XMLSchema#integer")
+        height = Literal("1.75", datatype="http://www.w3.org/2001/XMLSchema#decimal")
+        assert graph.count_matches(o=age) == 1
+        assert graph.count_matches(o=height) == 1
+
+    def test_boolean_literal(self):
+        graph = turtle.loads(SAMPLE)
+        true = Literal("true", datatype="http://www.w3.org/2001/XMLSchema#boolean")
+        assert graph.count_matches(o=true) == 1
+
+    def test_sparql_style_prefix(self):
+        graph = turtle.loads(
+            "PREFIX ex: <urn:x:>\nex:a ex:p ex:b ."
+        )
+        assert len(graph) == 1
+
+    def test_blank_node_property_list(self):
+        graph = turtle.loads(
+            "@prefix ex: <urn:x:> .\n"
+            "ex:a ex:p [ ex:q 1 ; ex:r 2 ] ."
+        )
+        assert len(graph) == 3
+
+    def test_blank_node_as_subject(self):
+        graph = turtle.loads(
+            "@prefix ex: <urn:x:> .\n[ ex:p 1 ] ."
+        )
+        assert len(graph) == 1
+
+    def test_collection(self):
+        graph = turtle.loads(
+            "@prefix ex: <urn:x:> .\nex:a ex:list (1 2 3) ."
+        )
+        # 1 attach + 3 first + 3 rest
+        assert len(graph) == 7
+
+    def test_labeled_blank_nodes(self):
+        graph = turtle.loads("_:x <urn:p> _:y .")
+        triple = next(iter(graph))
+        assert triple.subject == BlankNode("x")
+        assert triple.object == BlankNode("y")
+
+    def test_typed_literal_with_pname(self):
+        graph = turtle.loads(
+            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+            '<urn:s> <urn:p> "5"^^xsd:byte .'
+        )
+        triple = next(iter(graph))
+        assert triple.object.datatype.endswith("byte")
+
+    def test_negative_number(self):
+        graph = turtle.loads("<urn:s> <urn:p> -42 .")
+        assert next(iter(graph)).object.lexical == "-42"
+
+    def test_base_resolution(self):
+        graph = turtle.loads("@base <http://ex.org/data/> .\n<s> <p> <o> .")
+        triple = next(iter(graph))
+        assert triple.subject == IRI("http://ex.org/data/s")
+
+
+class TestErrors:
+    def test_undeclared_prefix(self):
+        with pytest.raises(TurtleError):
+            turtle.loads("ex:a ex:p ex:b .")
+
+    def test_missing_dot(self):
+        with pytest.raises(TurtleError):
+            turtle.loads("<urn:a> <urn:p> <urn:b>")
+
+    def test_literal_subject(self):
+        with pytest.raises(TurtleError):
+            turtle.loads('"lit" <urn:p> <urn:o> .')
+
+    def test_error_carries_position(self):
+        with pytest.raises(TurtleError, match="line"):
+            turtle.loads("<urn:a> <urn:p> ; .")
+
+
+class TestDumps:
+    def test_round_trip_plain(self):
+        graph = turtle.loads(SAMPLE)
+        again = turtle.loads(turtle.dumps(graph))
+        assert set(again) == set(graph)
+
+    def test_round_trip_with_prefixes(self):
+        graph = turtle.loads(SAMPLE)
+        manager = NamespaceManager(
+            {"foaf": "http://xmlns.com/foaf/0.1/", "ex": "urn:example:"}
+        )
+        text = turtle.dumps(graph, namespaces=manager)
+        assert "@prefix foaf:" in text
+        assert "foaf:name" in text
+        assert set(turtle.loads(text)) == set(graph)
+
+    def test_groups_by_subject(self):
+        g = Graph()
+        s = IRI("urn:s")
+        g.add(Triple(s, IRI("urn:p"), Literal("a")))
+        g.add(Triple(s, IRI("urn:q"), Literal("b")))
+        text = turtle.dumps(g)
+        assert text.count("<urn:s>") == 1
+        assert ";" in text
+
+    def test_rdf_type_abbreviated(self):
+        g = Graph()
+        g.add(Triple(IRI("urn:s"), RDF_TYPE, IRI("urn:C")))
+        assert " a " in turtle.dumps(g)
+
+    def test_empty_graph(self):
+        assert turtle.dumps(Graph()) == ""

@@ -1,0 +1,163 @@
+"""Unit tests for well-designedness and pattern trees (§5.2)."""
+
+from repro.analysis.welldesigned import (
+    AlgebraEmpty,
+    AlgebraJoin,
+    AlgebraLeftJoin,
+    AlgebraTriple,
+    build_pattern_tree,
+    interface_width,
+    is_well_designed,
+    to_binary_algebra,
+    tree_is_variable_connected,
+)
+from repro.sparql import parse_query
+
+
+def algebra(text):
+    return to_binary_algebra(parse_query(text).pattern)
+
+
+class TestBinaryAlgebra:
+    def test_single_triple(self):
+        node = algebra("ASK { ?a <urn:p> ?b }")
+        assert isinstance(node, AlgebraTriple)
+
+    def test_join_of_two(self):
+        node = algebra("ASK { ?a <urn:p> ?b . ?b <urn:q> ?c }")
+        assert isinstance(node, AlgebraJoin)
+
+    def test_optional_becomes_leftjoin(self):
+        node = algebra("ASK { ?a <urn:p> ?b OPTIONAL { ?b <urn:q> ?c } }")
+        assert isinstance(node, AlgebraLeftJoin)
+        assert isinstance(node.left, AlgebraTriple)
+
+    def test_leading_optional_has_empty_left(self):
+        node = algebra("ASK { OPTIONAL { ?a <urn:p> ?b } }")
+        assert isinstance(node, AlgebraLeftJoin)
+        assert isinstance(node.left, AlgebraEmpty)
+
+    def test_variables(self):
+        node = algebra("ASK { ?a <urn:p> ?b OPTIONAL { ?b <urn:q> ?c } }")
+        assert {v.name for v in node.variables()} == {"a", "b", "c"}
+
+    def test_filter_variables_included(self):
+        node = algebra("ASK { ?a <urn:p> ?b FILTER(?f > 1) }")
+        assert {v.name for v in node.variables()} == {"a", "b", "f"}
+
+
+class TestWellDesigned:
+    def test_simple_cq_well_designed(self):
+        assert is_well_designed(algebra("ASK { ?a <urn:p> ?b . ?b <urn:q> ?c }"))
+
+    def test_optional_variable_leaking_right(self):
+        # ?E appears after the OPTIONAL that introduced it.
+        node = algebra(
+            "ASK { ?A <urn:name> ?N OPTIONAL { ?A <urn:email> ?E } "
+            "?X <urn:uses> ?E }"
+        )
+        assert not is_well_designed(node)
+
+    def test_optional_variable_leaking_left(self):
+        # Leading OPTIONAL introduces ?A used later: also not well designed.
+        node = algebra(
+            "ASK { OPTIONAL { ?A <urn:email> ?E } ?A <urn:name> ?N }"
+        )
+        assert not is_well_designed(node)
+
+    def test_shared_variable_is_fine(self):
+        node = algebra(
+            "ASK { ?A <urn:name> ?N OPTIONAL { ?A <urn:email> ?E } }"
+        )
+        assert is_well_designed(node)
+
+    def test_sibling_optionals_sharing_optional_var(self):
+        # ?E occurs in two different OPTIONALs: each occurrence is
+        # outside the other, so not well designed.
+        node = algebra(
+            "ASK { ?A <urn:name> ?N OPTIONAL { ?A <urn:a> ?E } "
+            "OPTIONAL { ?A <urn:b> ?E } }"
+        )
+        assert not is_well_designed(node)
+
+    def test_filter_variable_counts_as_occurrence(self):
+        node = algebra(
+            "ASK { ?A <urn:name> ?N OPTIONAL { ?A <urn:email> ?E } "
+            "FILTER(?E != 1) }"
+        )
+        assert not is_well_designed(node)
+
+
+class TestPatternTrees:
+    def test_p1_tree_shape(self):
+        # ((name) Opt (email)) Opt (webPage): root with two children.
+        tree = build_pattern_tree(
+            algebra(
+                "ASK { ?A <urn:name> ?N OPTIONAL { ?A <urn:email> ?E } "
+                "OPTIONAL { ?A <urn:webPage> ?W } }"
+            )
+        )
+        assert len(tree.triples) == 1
+        assert len(tree.children) == 2
+        assert all(not child.children for child in tree.children)
+
+    def test_p2_tree_shape(self):
+        # (name) Opt ((email) Opt (webPage)): a chain of depth 3.
+        tree = build_pattern_tree(
+            algebra(
+                "ASK { ?A <urn:name> ?N OPTIONAL { ?A <urn:email> ?E "
+                "OPTIONAL { ?A <urn:webPage> ?W } } }"
+            )
+        )
+        assert len(tree.children) == 1
+        assert len(tree.children[0].children) == 1
+        assert tree.size() == 3
+
+    def test_interface_width_one(self):
+        tree = build_pattern_tree(
+            algebra(
+                "ASK { ?A <urn:name> ?N OPTIONAL { ?A <urn:email> ?E } }"
+            )
+        )
+        assert interface_width(tree) == 1
+
+    def test_interface_width_two(self):
+        tree = build_pattern_tree(
+            algebra(
+                "ASK { ?A <urn:name> ?W OPTIONAL { ?A <urn:webPage> ?W } }"
+            )
+        )
+        assert interface_width(tree) == 2
+
+    def test_interface_width_zero_without_opt(self):
+        tree = build_pattern_tree(algebra("ASK { ?a <urn:p> ?b }"))
+        assert interface_width(tree) == 0
+
+    def test_variable_connectedness_positive(self):
+        tree = build_pattern_tree(
+            algebra(
+                "ASK { ?A <urn:name> ?N OPTIONAL { ?A <urn:email> ?E "
+                "OPTIONAL { ?E <urn:domain> ?D } } }"
+            )
+        )
+        assert tree_is_variable_connected(tree)
+
+    def test_variable_connectedness_negative(self):
+        # ?N skips a level: root and grandchild use it, child does not.
+        tree = build_pattern_tree(
+            algebra(
+                "ASK { ?A <urn:name> ?N OPTIONAL { ?A <urn:email> ?E "
+                "OPTIONAL { ?E <urn:alias> ?N } } }"
+            )
+        )
+        assert not tree_is_variable_connected(tree)
+
+    def test_filters_attach_to_their_node(self):
+        tree = build_pattern_tree(
+            algebra(
+                "ASK { ?A <urn:name> ?N FILTER(?N != 1) "
+                "OPTIONAL { ?A <urn:email> ?E FILTER(?E != 2) } }"
+            )
+        )
+        assert len(tree.filters) == 1
+        assert len(tree.children[0].filters) == 1
