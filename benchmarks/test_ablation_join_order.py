@@ -13,7 +13,6 @@ from _bench_utils import banner
 
 from repro.engine.evaluator import PatternEvaluator
 from repro.sparql import parse_query
-from repro.workload import bib_schema, generate_graph
 
 
 def _adversarial_query(schema):
@@ -63,9 +62,11 @@ def test_ablation_join_order(benchmark, figure3_graph):
         print(f"speedup:         {textual_elapsed / reordered_elapsed:9.2f}x")
 
     # Correctness: both orders return the same bag of solutions.
-    canonical = lambda rows: sorted(
-        tuple(sorted((v.name, str(t)) for v, t in row.items())) for row in rows
-    )
+    def canonical(rows):
+        return sorted(
+            tuple(sorted((v.name, str(t)) for v, t in row.items())) for row in rows
+        )
+
     assert canonical(rows_reordered) == canonical(rows_textual)
     # The heuristic should not lose by more than a small constant.
     assert reordered_elapsed <= textual_elapsed * 2 + 0.05

@@ -35,7 +35,15 @@ from .analysis import (
     hypertree_width,
     treewidth,
 )
-from .analysis.study import CorpusStudy, study_corpus
+from .analysis.parallel import (
+    build_query_log_parallel,
+    build_query_logs_parallel,
+    measure_chunk,
+    merge_shards,
+    merge_studies,
+    study_corpus_parallel,
+)
+from .analysis.study import CorpusStudy, DatasetStats, measure_query, study_corpus
 from .engine import IndexedEngine, NestedLoopEngine
 from .exceptions import (
     EvaluationError,
@@ -45,7 +53,7 @@ from .exceptions import (
     SparqlSyntaxError,
     WorkloadError,
 )
-from .logs import QueryLog, build_query_log
+from .logs import LogShard, ParseCache, QueryLog, build_query_log, process_entries
 from .rdf import Graph, IRI, BlankNode, Literal, Triple, Variable
 from .sparql import parse_query, serialize_query
 from .workload import (
@@ -70,7 +78,15 @@ __all__ = [
     "hypertree_width",
     "treewidth",
     "CorpusStudy",
+    "DatasetStats",
+    "measure_query",
     "study_corpus",
+    "build_query_log_parallel",
+    "build_query_logs_parallel",
+    "measure_chunk",
+    "merge_shards",
+    "merge_studies",
+    "study_corpus_parallel",
     "IndexedEngine",
     "NestedLoopEngine",
     "EvaluationError",
@@ -79,8 +95,11 @@ __all__ = [
     "ReproError",
     "SparqlSyntaxError",
     "WorkloadError",
+    "LogShard",
+    "ParseCache",
     "QueryLog",
     "build_query_log",
+    "process_entries",
     "Graph",
     "IRI",
     "BlankNode",

@@ -24,6 +24,15 @@ from .operators import (
     OperatorClassification,
     classify_operators,
 )
+from .parallel import (
+    build_query_log_parallel,
+    build_query_logs_parallel,
+    iter_chunks,
+    measure_chunk,
+    merge_shards,
+    merge_studies,
+    study_corpus_parallel,
+)
 from .property_paths import (
     PathClassification,
     classify_path,
@@ -76,6 +85,13 @@ __all__ = [
     "Operator",
     "OperatorClassification",
     "classify_operators",
+    "build_query_log_parallel",
+    "build_query_logs_parallel",
+    "iter_chunks",
+    "measure_chunk",
+    "merge_shards",
+    "merge_studies",
+    "study_corpus_parallel",
     "PathClassification",
     "classify_path",
     "in_ctract",

@@ -16,7 +16,7 @@ influence structure or cyclicity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from ..rdf.terms import BlankNode, Term, Variable
 from ..sparql import ast, walk

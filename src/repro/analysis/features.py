@@ -9,7 +9,7 @@ two patterns and a ``?filter`` variable never looks like a keyword.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Optional, Set
 
 from ..sparql import ast, walk

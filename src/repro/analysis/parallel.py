@@ -1,0 +1,278 @@
+"""Sharded, multiprocessing-capable execution of the pipeline and study.
+
+The paper's headline corpus is ~180M queries; a strictly serial
+clean → parse → measure pass bounds corpus size by one core and one
+heap.  This module splits the work into chunks, runs them on worker
+processes, and combines the partial results through the mergeable
+accumulators (:class:`~repro.logs.pipeline.LogShard`,
+:class:`~repro.analysis.study.DatasetStats`,
+:class:`~repro.analysis.study.CorpusStudy`):
+
+* :func:`build_query_log_parallel` — clean → parse → dedup over chunks
+  of raw entries.  Deduplication is two-phase: each shard builds its
+  own text → count map and the maps are merged in stream order before
+  the unique stream is materialized.
+* :func:`study_corpus_parallel` — the full corpus study over chunks of
+  the (already deduplicated) per-dataset query streams.
+
+Chunks are always merged in stream order, so both functions are
+guaranteed to reproduce the serial result exactly — including counter
+key order, which breaks ties in table rendering.  ``workers=1`` (or a
+single chunk) never touches :mod:`multiprocessing`: it runs the same
+chunked code path serially and deterministically in-process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..logs.pipeline import LogShard, ParseCache, ParsedQuery, QueryLog, process_entries
+from .study import CorpusStudy, DatasetStats, _analyze_query
+
+__all__ = [
+    "build_query_log_parallel",
+    "build_query_logs_parallel",
+    "iter_chunks",
+    "measure_chunk",
+    "merge_shards",
+    "merge_studies",
+    "resolve_workers",
+    "study_corpus_parallel",
+]
+
+#: Target number of chunks handed to each worker.  More than one chunk
+#: per worker smooths load imbalance (shape/treewidth analysis cost
+#: varies wildly per query); the value is deterministic so chunk
+#: boundaries — and therefore merge order — never depend on timing.
+_CHUNKS_PER_WORKER = 4
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker count (``None``/``0`` → all CPUs)."""
+    if workers is None or workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def default_chunk_size(n_items: int, workers: int) -> int:
+    """Deterministic chunk size: ~`_CHUNKS_PER_WORKER` chunks per worker."""
+    return max(1, -(-n_items // (workers * _CHUNKS_PER_WORKER)))
+
+
+def iter_chunks(items: Sequence, chunk_size: int) -> Iterator[List]:
+    """Split *items* into contiguous chunks of at most *chunk_size*."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    for start in range(0, len(items), chunk_size):
+        yield list(items[start : start + chunk_size])
+
+
+# ---------------------------------------------------------------------------
+# Worker entry points (top-level so they pickle under spawn and fork)
+# ---------------------------------------------------------------------------
+
+
+#: Per-worker parse cache, created by the pool initializer so it lives
+#: for the whole pool: duplicates recurring across a worker's chunks are
+#: parsed once.  Stays ``None`` in the parent, so the serial fallback
+#: keeps its per-chunk caches and successive calls can't leak prefixes.
+_WORKER_PARSE_CACHE: Optional[ParseCache] = None
+
+
+def _init_parse_worker() -> None:
+    global _WORKER_PARSE_CACHE
+    _WORKER_PARSE_CACHE = ParseCache()
+
+
+def _parse_chunk(
+    payload: Tuple[str, List[str], Optional[Dict[str, str]]],
+) -> Tuple[str, LogShard]:
+    name, texts, extra_prefixes = payload
+    return name, process_entries(
+        texts, extra_prefixes=extra_prefixes, cache=_WORKER_PARSE_CACHE
+    )
+
+
+def _measure_chunk(payload: Tuple[str, List[ParsedQuery], bool]) -> CorpusStudy:
+    dataset, queries, dedup = payload
+    return measure_chunk(dataset, queries, dedup=dedup)
+
+
+def measure_chunk(
+    dataset: str, queries: Iterable[ParsedQuery], dedup: bool = True
+) -> CorpusStudy:
+    """Measure one chunk of a dataset's unique stream into a partial study."""
+    study = CorpusStudy(dedup=dedup)
+    stats = DatasetStats(name=dataset)
+    study.datasets[dataset] = stats
+    for parsed in queries:
+        _analyze_query(study, stats, parsed, 1 if dedup else parsed.count)
+    return study
+
+
+#: Payloads shared with fork-started workers through inherited memory.
+#: Set immediately before the pool is created (children snapshot the
+#: parent's address space at fork), cleared right after; workers index
+#: into it so chunk inputs are never pickled.  The lock serializes
+#: concurrent parallel runs in one process: a second thread must not
+#: swap the global between another run's fork and its map.
+_SHARED_PAYLOADS: Optional[List] = None
+_SHARED_LOCK = threading.Lock()
+
+
+def _call_shared(args) -> object:
+    worker_fn, index = args
+    assert _SHARED_PAYLOADS is not None
+    return worker_fn(_SHARED_PAYLOADS[index])
+
+
+def _fork_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return None
+
+
+def _run_tasks(worker_fn, payloads: List, workers: int, initializer=None) -> List:
+    """Run *worker_fn* over *payloads*, on processes when it pays off.
+
+    ``workers=1`` (or a single payload) is the deterministic serial
+    fallback: same code path, same order, no multiprocessing.  With a
+    ``fork`` start method the payloads travel to workers via inherited
+    memory instead of pickling; only results cross process boundaries.
+    """
+    if workers == 1 or len(payloads) <= 1:
+        return [worker_fn(payload) for payload in payloads]
+    global _SHARED_PAYLOADS
+    max_workers = min(workers, len(payloads))
+    context = _fork_context()
+    if context is not None:
+        with _SHARED_LOCK:
+            _SHARED_PAYLOADS = payloads
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=max_workers, mp_context=context, initializer=initializer
+                ) as executor:
+                    return list(
+                        executor.map(
+                            _call_shared,
+                            [(worker_fn, i) for i in range(len(payloads))],
+                        )
+                    )
+            finally:
+                _SHARED_PAYLOADS = None
+    with ProcessPoolExecutor(max_workers=max_workers, initializer=initializer) as executor:
+        return list(executor.map(worker_fn, payloads))
+
+
+# ---------------------------------------------------------------------------
+# Merging
+# ---------------------------------------------------------------------------
+
+
+def merge_shards(shards: Iterable[LogShard]) -> LogShard:
+    """Merge pipeline shards in stream order."""
+    merged = LogShard()
+    for shard in shards:
+        merged.merge(shard)
+    return merged
+
+
+def merge_studies(studies: Iterable[CorpusStudy], dedup: bool = True) -> CorpusStudy:
+    """Merge partial studies in stream order."""
+    merged = CorpusStudy(dedup=dedup)
+    for study in studies:
+        merged.merge(study)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Public drivers
+# ---------------------------------------------------------------------------
+
+
+def build_query_logs_parallel(
+    corpora: Mapping[str, Iterable[str]],
+    extra_prefixes: Optional[Dict[str, str]] = None,
+    *,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> Dict[str, QueryLog]:
+    """Sharded clean → parse → dedup over a whole corpus of raw logs.
+
+    All datasets share one worker pool, so small logs don't each pay
+    the pool start-up cost.  Per dataset, shards are merged in stream
+    order: the result is identical to the serial pipeline.
+    """
+    workers = resolve_workers(workers)
+    materialized = {name: list(texts) for name, texts in corpora.items()}
+    size = chunk_size
+    if size is None:
+        # Size chunks against the whole corpus, not per dataset: many
+        # small logs must not explode into many tiny shards (each shard
+        # re-parses its own duplicates and pickles its own ASTs back).
+        total = sum(len(texts) for texts in materialized.values())
+        size = default_chunk_size(total, workers)
+    payloads = []
+    for name, texts in materialized.items():
+        for chunk in iter_chunks(texts, size):
+            payloads.append((name, chunk, extra_prefixes))
+    results = _run_tasks(_parse_chunk, payloads, workers, _init_parse_worker)
+    merged: Dict[str, LogShard] = {name: LogShard() for name in corpora}
+    for name, shard in results:
+        merged[name].merge(shard)
+    return {name: shard.to_query_log(name) for name, shard in merged.items()}
+
+
+def build_query_log_parallel(
+    name: str,
+    raw_queries: Iterable[str],
+    extra_prefixes: Optional[Dict[str, str]] = None,
+    *,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> QueryLog:
+    """Sharded clean → parse → dedup, identical to the serial pipeline."""
+    logs = build_query_logs_parallel(
+        {name: raw_queries},
+        extra_prefixes,
+        workers=workers,
+        chunk_size=chunk_size,
+    )
+    return logs[name]
+
+
+def study_corpus_parallel(
+    logs: Mapping[str, QueryLog],
+    dedup: bool = True,
+    *,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> CorpusStudy:
+    """Sharded corpus study, identical to the serial :func:`study_corpus`.
+
+    The Table 1 counters (Total/Valid/Unique) are carried by the
+    pre-created per-dataset stats; worker shards contribute measurement
+    counters only, so merging never double-counts the pipeline totals.
+    """
+    workers = resolve_workers(workers)
+    study = CorpusStudy(dedup=dedup)
+    size = chunk_size
+    if size is None:
+        total = sum(log.unique for log in logs.values())
+        size = default_chunk_size(total, workers)
+    payloads: List[Tuple[str, List[ParsedQuery], bool]] = []
+    for name, log in logs.items():
+        study.datasets[name] = DatasetStats(
+            name=name, total=log.total, valid=log.valid, unique=log.unique
+        )
+        for chunk in iter_chunks(list(log.unique_queries()), size):
+            payloads.append((name, chunk, dedup))
+    partials = _run_tasks(_measure_chunk, payloads, workers)
+    for partial in partials:
+        study.merge(partial)
+    return study

@@ -18,7 +18,7 @@ find — is intractable and all other Table 5 types are tractable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..sparql import ast
 

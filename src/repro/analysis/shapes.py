@@ -25,7 +25,7 @@ flower set, cycle ⊆ petal ⊆ flower ⊆ flower set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from .graphutil import Multigraph
 

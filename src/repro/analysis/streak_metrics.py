@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Sequence, Set, Tuple
 
 from .streaks import Streak, levenshtein, strip_prefixes
 

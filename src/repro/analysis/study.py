@@ -22,9 +22,9 @@ Valid corpus).
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from collections import Counter
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Mapping, MutableMapping, Optional, Tuple
 
 from ..logs.pipeline import ParsedQuery, QueryLog
 from ..sparql import ast, walk
@@ -37,11 +37,51 @@ from .property_paths import classify_path
 from .shapes import SHAPE_ORDER, classify_shape
 from .treewidth import treewidth
 
-__all__ = ["DatasetStats", "CorpusStudy", "study_corpus"]
+__all__ = ["DatasetStats", "CorpusStudy", "measure_query", "study_corpus"]
 
 #: Shape analysis is skipped for pathological graphs above this size —
 #: the classifier is polynomial but flower detection tries every core.
 _SHAPE_NODE_LIMIT = 400
+
+#: Cap on the number of non-Ctract path expressions kept for Table 5.
+_NON_CTRACT_LIMIT = 100
+
+
+def _merge_counters(dst: MutableMapping, src: Mapping) -> None:
+    """Add *src* into *dst* key-wise.
+
+    ``Counter.__add__`` silently drops keys whose count is zero (or
+    negative), so merging with ``+`` would erase explicitly-recorded
+    zero buckets and change table shapes.  This helper preserves every
+    key present on either side.
+    """
+    for key, value in src.items():
+        dst[key] = dst.get(key, 0) + value
+
+
+def _merge_fields(self, other, skip: frozenset) -> None:
+    """Merge all dataclass fields by type: int adds, Counter key-merges.
+
+    Introspecting the fields (instead of hand-maintained name lists)
+    means a future metric added to the dataclass is merged — or, for a
+    type with no obvious merge, rejected loudly — rather than silently
+    dropped from sharded runs, which would break serial ≡ parallel.
+    """
+    for field_info in fields(self):
+        name = field_info.name
+        if name in skip:
+            continue
+        mine = getattr(self, name)
+        theirs = getattr(other, name)
+        if isinstance(mine, Counter):
+            _merge_counters(mine, theirs)
+        elif isinstance(mine, int):
+            setattr(self, name, mine + theirs)
+        else:
+            raise TypeError(
+                f"{type(self).__name__}.merge: no merge rule for field {name!r} "
+                f"of type {type(mine).__name__}"
+            )
 
 
 @dataclass
@@ -57,6 +97,15 @@ class DatasetStats:
     triple_hist: Counter = field(default_factory=Counter)  # per S/A query
     triple_sum: int = 0  # over ALL queries (Avg#T is corpus-wide)
     keyword_counts: Counter = field(default_factory=Counter)
+
+    def merge(self, other: "DatasetStats") -> "DatasetStats":
+        """Fold another shard of the same dataset into this one."""
+        if other.name != self.name:
+            raise ValueError(
+                f"cannot merge stats for {other.name!r} into {self.name!r}"
+            )
+        _merge_fields(self, other, skip=frozenset({"name"}))
+        return self
 
     @property
     def select_ask_share(self) -> float:
@@ -138,6 +187,52 @@ class CorpusStudy:
     path_types: Counter = field(default_factory=Counter)
     path_type_k: Dict[str, List[int]] = field(default_factory=dict)
     non_ctract: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Merge semantics
+    # ------------------------------------------------------------------
+
+    #: Fields :func:`_merge_fields` cannot handle generically; each has
+    #: explicit handling in :meth:`merge`.
+    _SPECIAL_MERGE_FIELDS = frozenset(
+        {
+            "dedup",
+            "datasets",
+            "shape_counts",
+            "treewidth_counts",
+            "path_type_k",
+            "non_ctract",
+        }
+    )
+
+    def merge(self, other: "CorpusStudy") -> "CorpusStudy":
+        """Fold a partial study (e.g. one shard's results) into this one.
+
+        Merging in stream order reproduces the single-pass study
+        exactly, including counter key order (which breaks ties in
+        ``Counter.most_common``) and the non-Ctract sample.
+        """
+        if other.dedup != self.dedup:
+            raise ValueError("cannot merge Unique-corpus and Valid-corpus studies")
+        for name, stats in other.datasets.items():
+            mine = self.datasets.get(name)
+            if mine is None:
+                mine = DatasetStats(name=name)
+                self.datasets[name] = mine
+            mine.merge(stats)
+        _merge_fields(self, other, skip=self._SPECIAL_MERGE_FIELDS)
+        for fragment, counts in other.shape_counts.items():
+            _merge_counters(self.shape_counts.setdefault(fragment, Counter()), counts)
+        for fragment, counts in other.treewidth_counts.items():
+            _merge_counters(
+                self.treewidth_counts.setdefault(fragment, Counter()), counts
+            )
+        for path_type, ks in other.path_type_k.items():
+            self.path_type_k.setdefault(path_type, []).extend(ks)
+        remaining = _NON_CTRACT_LIMIT - len(self.non_ctract)
+        if remaining > 0:
+            self.non_ctract.extend(other.non_ctract[:remaining])
+        return self
 
     # ------------------------------------------------------------------
     def keyword_table(self) -> List[Tuple[str, int, float]]:
@@ -222,10 +317,51 @@ class CorpusStudy:
         return rows
 
 
-def study_corpus(
-    logs: Mapping[str, QueryLog], dedup: bool = True
+def measure_query(
+    parsed: ParsedQuery,
+    dataset: str = "corpus",
+    weight: int = 1,
+    dedup: bool = True,
 ) -> CorpusStudy:
-    """Run the full analysis over processed logs."""
+    """Measure a single query: the pure unit of work of the study.
+
+    Returns a fresh single-query :class:`CorpusStudy` (with one
+    :class:`DatasetStats` under *dataset*) and never mutates shared
+    state, so results can be computed in any order — or on worker
+    processes — and combined with :meth:`CorpusStudy.merge`.  Folding
+    the per-query studies in stream order reproduces every measurement
+    counter of :func:`study_corpus`; the Table 1 pipeline counters
+    (total/valid/unique) come from the :class:`QueryLog`, not from
+    measurement, and for the Valid corpus (``dedup=False``) pass
+    ``weight=parsed.count`` to keep multiplicities.
+    """
+    study = CorpusStudy(dedup=dedup)
+    stats = DatasetStats(name=dataset)
+    study.datasets[dataset] = stats
+    _analyze_query(study, stats, parsed, weight)
+    return study
+
+
+def study_corpus(
+    logs: Mapping[str, QueryLog],
+    dedup: bool = True,
+    *,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+) -> CorpusStudy:
+    """Run the full analysis over processed logs.
+
+    With ``workers > 1`` the per-dataset query streams are split into
+    chunks measured on worker processes and the partial studies merged
+    (see :mod:`repro.analysis.parallel`); the result is identical to
+    the serial pass.
+    """
+    if workers != 1:
+        from .parallel import study_corpus_parallel
+
+        return study_corpus_parallel(
+            logs, dedup=dedup, workers=workers, chunk_size=chunk_size
+        )
     study = CorpusStudy(dedup=dedup)
     for name, log in logs.items():
         stats = DatasetStats(
@@ -371,7 +507,7 @@ def _analyze_paths(study, query, weight: int) -> None:
             study.path_type_k.setdefault(
                 classification.expression_type, []
             ).append(classification.k)
-        if not classification.ctract and len(study.non_ctract) < 100:
+        if not classification.ctract and len(study.non_ctract) < _NON_CTRACT_LIMIT:
             from ..sparql.serializer import serialize_path
 
             study.non_ctract.append(serialize_path(node.path))

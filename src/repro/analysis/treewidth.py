@@ -18,7 +18,7 @@ operates on the simplified graph.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Set
+from typing import Dict, FrozenSet, Set
 
 from .graphutil import Multigraph
 

@@ -17,7 +17,7 @@ Implements three ingredients of the paper's CQOF classification:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
 from ..rdf.terms import Variable
 from ..sparql import ast, walk

@@ -21,26 +21,14 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .analysis import find_streaks, streak_length_histogram
+from .analysis.parallel import build_query_logs_parallel
 from .analysis.study import study_corpus
 from .engine import IndexedEngine, NestedLoopEngine
-from .logs import build_query_log, encode_access_log_line, iter_queries
-from .reporting import (
-    render_figure1,
-    render_figure3,
-    render_figure5,
-    render_fragments,
-    render_hypertree,
-    render_projection,
-    render_table1,
-    render_table2,
-    render_table3,
-    render_table4,
-    render_table5,
-    render_table6,
-)
+from .logs import ParseCache, build_query_log, encode_access_log_line, iter_queries
+from .reporting import render_figure3, render_study, render_table6
 from .workload import (
     bib_schema,
     generate_corpus,
@@ -81,31 +69,30 @@ def read_query_file(path: Path) -> List[str]:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    logs = {}
+    corpora = {}
     for file_name in args.files:
         path = Path(file_name)
-        queries = read_query_file(path)
-        logs[path.stem] = build_query_log(path.stem, queries)
-    study = study_corpus(logs, dedup=not args.keep_duplicates)
-    print(render_table1(logs))
-    print()
-    print(render_table2(study))
-    print()
-    print(render_figure1(study))
-    print()
-    print(render_table3(study))
-    print()
-    print(render_projection(study))
-    print()
-    print(render_fragments(study))
-    print()
-    print(render_figure5(study))
-    print()
-    print(render_table4(study))
-    print()
-    print(render_hypertree(study))
-    print()
-    print(render_table5(study))
+        corpora[path.stem] = read_query_file(path)
+    if args.workers != 1:
+        # One pool over all files: small logs share the worker start-up.
+        logs = build_query_logs_parallel(
+            corpora, workers=args.workers, chunk_size=args.chunk_size
+        )
+    else:
+        # One parse cache across all files: duplicate-heavy logs (and
+        # texts recurring across endpoint logs) skip re-parsing.
+        cache = ParseCache()
+        logs = {
+            name: build_query_log(name, queries, cache=cache)
+            for name, queries in corpora.items()
+        }
+    study = study_corpus(
+        logs,
+        dedup=not args.keep_duplicates,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+    )
+    print(render_study(study, logs))
     return 0
 
 
@@ -168,6 +155,13 @@ def _cmd_streaks(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return number
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -181,6 +175,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--keep-duplicates",
         action="store_true",
         help="analyze the Valid corpus instead of the Unique one (appendix mode)",
+    )
+    analyze.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for parsing and measuring (0 = all CPUs; "
+        "output is identical to the serial pass)",
+    )
+    analyze.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="entries per shard (default: sized for ~4 chunks per worker)",
     )
     analyze.set_defaults(func=_cmd_analyze)
 

@@ -679,7 +679,9 @@ class PatternEvaluator:
                 # Force an evaluation error downstream (unbound var).
                 return ast.TermExpression(Variable("__aggregate_error"))
             return ast.TermExpression(value)
-        substitute = lambda e: self._substitute_aggregates(e, members, exists)
+        def substitute(e: ast.Expression) -> ast.Expression:
+            return self._substitute_aggregates(e, members, exists)
+
         if isinstance(expression, ast.OrExpression):
             return ast.OrExpression(tuple(map(substitute, expression.operands)))
         if isinstance(expression, ast.AndExpression):

@@ -23,7 +23,6 @@ from ..rdf.terms import (
     Term,
     Variable,
     XSD_BOOLEAN,
-    XSD_DECIMAL,
     XSD_DOUBLE,
     XSD_INTEGER,
     XSD_STRING,

@@ -11,10 +11,9 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence
 
 from ..rdf.terms import IRI, BlankNode, Literal, Term, Variable
-from ..sparql import ast
 
 __all__ = [
     "results_to_json",

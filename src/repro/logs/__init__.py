@@ -6,14 +6,24 @@ from .formats import (
     iter_queries,
     parse_access_log_line,
 )
-from .pipeline import ParsedQuery, QueryLog, build_query_log
+from .pipeline import (
+    LogShard,
+    ParseCache,
+    ParsedQuery,
+    QueryLog,
+    build_query_log,
+    process_entries,
+)
 
 __all__ = [
     "LogEntry",
     "encode_access_log_line",
     "iter_queries",
     "parse_access_log_line",
+    "LogShard",
+    "ParseCache",
     "ParsedQuery",
     "QueryLog",
     "build_query_log",
+    "process_entries",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 import re
 import urllib.parse
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, Optional
 
 from ..exceptions import LogFormatError
 

@@ -11,6 +11,15 @@ Raw log entries go through three stages:
 3. **Deduplication** — exact duplicates are removed, yielding the
    *Unique* column on which the paper's main-body analysis runs.
 
+The pipeline is built around the mergeable :class:`LogShard`
+accumulator: one shard is the result of running clean → parse → dedup
+over a slice of the raw stream, and :meth:`LogShard.merge` combines
+shards so the stream can be processed in chunks (possibly on several
+worker processes, see :mod:`repro.analysis.parallel`) without changing
+the result.  Deduplication is two-phase: each shard keeps a
+text → count map, and the maps are merged before the unique stream is
+materialized.
+
 The :class:`QueryLog` produced here is the input to every analysis in
 :mod:`repro.analysis.study`.
 """
@@ -18,13 +27,20 @@ The :class:`QueryLog` produced here is the input to every analysis in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..exceptions import SparqlSyntaxError
 from ..rdf.namespaces import WELL_KNOWN_PREFIXES
 from ..sparql import ast, parse_query
 
-__all__ = ["ParsedQuery", "QueryLog", "build_query_log"]
+__all__ = [
+    "ParsedQuery",
+    "ParseCache",
+    "LogShard",
+    "QueryLog",
+    "build_query_log",
+    "process_entries",
+]
 
 
 @dataclass(frozen=True)
@@ -34,6 +50,102 @@ class ParsedQuery:
     text: str
     query: ast.Query
     count: int  # occurrences in the Valid stream
+
+
+class ParseCache:
+    """Parse-result cache keyed by query text.
+
+    Real endpoint logs are extremely duplicate-heavy (the paper's Valid
+    vs Unique gap in Table 1), so re-parsing the same text is the main
+    avoidable cost of the pipeline.  A cache instance can be shared
+    across several :func:`build_query_log` calls — e.g. one cache for a
+    whole multi-file ``repro analyze`` run.  Entries are keyed by text
+    only, so all calls must use the same prefix environment; the cache
+    pins the environment of its first parse and raises on a mismatch
+    rather than returning ASTs parsed under the wrong prefixes.
+    """
+
+    __slots__ = ("_entries", "_prefixes", "_last_prefixes_obj", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Optional[ast.Query]] = {}
+        self._prefixes: Optional[Dict[str, str]] = None
+        self._last_prefixes_obj: Optional[Dict[str, str]] = None
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, text: str) -> bool:
+        return text in self._entries
+
+    def parse(
+        self, text: str, prefixes: Optional[Dict[str, str]] = None
+    ) -> Optional[ast.Query]:
+        """Parse *text* (``None`` for invalid queries), memoized."""
+        if prefixes is not self._last_prefixes_obj:
+            # One full comparison per distinct mapping object; streams
+            # passing the same dict repeatedly take the identity path.
+            if self._prefixes is None:
+                self._prefixes = dict(prefixes) if prefixes else {}
+            elif (prefixes or {}) != self._prefixes:
+                raise ValueError(
+                    "ParseCache is shared across different prefix environments; "
+                    "use a fresh cache per prefix mapping"
+                )
+            self._last_prefixes_obj = prefixes
+        try:
+            cached = self._entries[text]
+        except KeyError:
+            self.misses += 1
+        else:
+            self.hits += 1
+            return cached
+        try:
+            result: Optional[ast.Query] = parse_query(text, extra_prefixes=prefixes)
+        except (SparqlSyntaxError, RecursionError):
+            result = None
+        self._entries[text] = result
+        return result
+
+
+@dataclass
+class LogShard:
+    """Mergeable partial result of the clean → parse → dedup pipeline.
+
+    ``order`` records the first-occurrence order of unique valid texts,
+    ``counts`` their multiplicities, and ``parsed`` their ASTs.  Merging
+    two shards (in stream order) yields exactly the shard the serial
+    pipeline would have produced over the concatenated input.
+    """
+
+    total: int = 0
+    valid: int = 0
+    order: List[str] = field(default_factory=list)
+    counts: Dict[str, int] = field(default_factory=dict)
+    parsed: Dict[str, ast.Query] = field(default_factory=dict)
+
+    def merge(self, other: "LogShard") -> "LogShard":
+        """Fold *other* (the next slice of the stream) into this shard."""
+        self.total += other.total
+        self.valid += other.valid
+        for text in other.order:
+            if text not in self.parsed:
+                self.parsed[text] = other.parsed[text]
+                self.order.append(text)
+        for text, count in other.counts.items():
+            self.counts[text] = self.counts.get(text, 0) + count
+        return self
+
+    def to_query_log(self, name: str) -> "QueryLog":
+        """Materialize the Table 1 view of this shard."""
+        log = QueryLog(name=name, total=self.total, valid=self.valid)
+        for text in self.order:
+            log.parsed.append(
+                ParsedQuery(text=text, query=self.parsed[text], count=self.counts[text])
+            )
+        return log
 
 
 @dataclass
@@ -64,55 +176,64 @@ class QueryLog:
         return (self.name, self.total, self.valid, self.unique)
 
 
+def process_entries(
+    raw_queries: Iterable[str],
+    extra_prefixes: Optional[Dict[str, str]] = None,
+    cache: Optional[ParseCache] = None,
+) -> LogShard:
+    """Run clean → parse → dedup over one slice of the raw stream.
+
+    Endpoints pre-declare common prefixes, so parsing uses
+    :data:`~repro.rdf.namespaces.WELL_KNOWN_PREFIXES` (plus
+    *extra_prefixes*) before declaring an entry invalid.
+    """
+    shard = LogShard()
+    prefixes = dict(WELL_KNOWN_PREFIXES)
+    if extra_prefixes:
+        prefixes.update(extra_prefixes)
+    if cache is None:
+        cache = ParseCache()
+    for text in raw_queries:
+        shard.total += 1
+        query = cache.parse(text, prefixes)
+        if query is None:
+            continue
+        shard.valid += 1
+        if text not in shard.counts:
+            shard.order.append(text)
+            shard.parsed[text] = query
+            shard.counts[text] = 1
+        else:
+            shard.counts[text] += 1
+    return shard
+
+
 def build_query_log(
     name: str,
     raw_queries: Iterable[str],
     extra_prefixes: Optional[Dict[str, str]] = None,
+    *,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    cache: Optional[ParseCache] = None,
 ) -> QueryLog:
     """Run the clean → parse → dedup pipeline over raw query texts.
 
     *raw_queries* is the post-cleaning stream (strings that look like
     queries); entries failing to parse count toward Total but not
-    Valid.  Endpoints pre-declare common prefixes, so parsing retries
-    with :data:`~repro.rdf.namespaces.WELL_KNOWN_PREFIXES` before
-    declaring an entry invalid.
+    Valid.  With ``workers != 1`` the stream is split into chunks that
+    are parsed on worker processes and merged; the result is identical
+    to the serial pass, but *cache* is ignored — caches cannot cross
+    process boundaries, so each pool worker keeps its own.
     """
-    log = QueryLog(name=name)
-    by_text: Dict[str, ParsedQuery] = {}
-    prefixes = dict(WELL_KNOWN_PREFIXES)
-    if extra_prefixes:
-        prefixes.update(extra_prefixes)
-    order: List[str] = []
-    counts: Dict[str, int] = {}
-    parsed_cache: Dict[str, Optional[ast.Query]] = {}
+    if workers != 1:
+        from ..analysis.parallel import build_query_log_parallel
 
-    for text in raw_queries:
-        log.total += 1
-        cached = parsed_cache.get(text, _MISSING)
-        if cached is _MISSING:
-            try:
-                cached = parse_query(text, extra_prefixes=prefixes)
-            except SparqlSyntaxError:
-                cached = None
-            except RecursionError:
-                cached = None
-            parsed_cache[text] = cached
-            if cached is not None:
-                order.append(text)
-        if cached is None:
-            continue
-        log.valid += 1
-        counts[text] = counts.get(text, 0) + 1
-
-    for text in order:
-        query = parsed_cache[text]
-        assert query is not None
-        log.parsed.append(ParsedQuery(text=text, query=query, count=counts[text]))
-    return log
-
-
-class _Missing:
-    __slots__ = ()
-
-
-_MISSING = _Missing()
+        return build_query_log_parallel(
+            name,
+            raw_queries,
+            extra_prefixes=extra_prefixes,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
+    return process_entries(raw_queries, extra_prefixes, cache).to_query_log(name)

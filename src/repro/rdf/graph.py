@@ -11,7 +11,7 @@ indexes and scans :meth:`Graph.scan` instead.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 from .terms import IRI, BlankNode, Literal, Term, Triple
 

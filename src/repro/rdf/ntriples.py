@@ -11,7 +11,7 @@ import re
 from typing import Iterable, Iterator, List, TextIO, Union
 
 from .graph import Graph
-from .terms import IRI, BlankNode, Literal, Term, Triple
+from .terms import IRI, BlankNode, Literal, Triple
 
 __all__ = ["dumps", "loads", "dump", "load", "NTriplesError"]
 

@@ -13,7 +13,7 @@ occur in data) sort last.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 __all__ = [

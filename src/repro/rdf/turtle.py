@@ -13,7 +13,7 @@ beyond simple joining, and the ``GRAPH`` forms of TriG.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, List, Optional, TextIO, Tuple, Union
+from typing import List, Optional, TextIO
 
 from ..exceptions import ReproError
 from ..sparql.tokenizer import Token, TokenType, tokenize

@@ -8,6 +8,7 @@ from .tables import (
     render_fragments,
     render_hypertree,
     render_projection,
+    render_study,
     render_table,
     render_table1,
     render_table2,
@@ -19,6 +20,7 @@ from .tables import (
 
 __all__ = [
     "render_dataset_highlights",
+    "render_study",
     "render_figure1",
     "render_figure3",
     "render_figure5",

@@ -8,12 +8,13 @@ paper-vs-measured comparison in EXPERIMENTS.md mechanical.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.study import CorpusStudy
 from ..logs.pipeline import QueryLog
 
 __all__ = [
+    "render_study",
     "render_table",
     "render_table1",
     "render_table2",
@@ -53,6 +54,34 @@ def render_table(
                       for index, cell in enumerate(row))
         )
     return "\n".join(lines)
+
+
+def render_study(
+    study: CorpusStudy, logs: Optional[Mapping[str, QueryLog]] = None
+) -> str:
+    """The full paper report for one study, as a single string.
+
+    The output is a pure function of the study (plus the optional logs
+    for Table 1), so serial and sharded runs can be compared
+    byte-for-byte.
+    """
+    blocks: List[str] = []
+    if logs is not None:
+        blocks.append(render_table1(logs))
+    blocks.extend(
+        [
+            render_table2(study),
+            render_figure1(study),
+            render_table3(study),
+            render_projection(study),
+            render_fragments(study),
+            render_figure5(study),
+            render_table4(study),
+            render_hypertree(study),
+            render_table5(study),
+        ]
+    )
+    return "\n\n".join(blocks)
 
 
 def _pct(value: float) -> str:

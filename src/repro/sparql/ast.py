@@ -12,11 +12,11 @@ by convention (analyses never mutate a parsed query).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
-from ..rdf.terms import IRI, BlankNode, Literal, Term, Variable
+from ..rdf.terms import IRI, Term, Variable
 
 __all__ = [
     "QueryType",

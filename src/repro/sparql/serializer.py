@@ -7,9 +7,9 @@ blank-node labels, which the property-based tests verify.
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List
 
-from ..rdf.terms import Term, Variable
+from ..rdf.terms import Variable
 from . import ast
 
 __all__ = ["serialize_query", "serialize_pattern", "serialize_expression", "serialize_path"]

@@ -7,9 +7,9 @@ function over the streams yielded here.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional, Set, Tuple, Union
+from typing import Iterator, Optional, Set
 
-from ..rdf.terms import BlankNode, Term, Variable
+from ..rdf.terms import Variable
 from . import ast
 
 __all__ = [

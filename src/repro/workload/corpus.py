@@ -22,7 +22,7 @@ same code paths it would on the real logs.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import WorkloadError

@@ -63,6 +63,21 @@ class TestCommands:
     def test_analyze_keep_duplicates(self, query_file, capsys):
         assert main(["analyze", "--keep-duplicates", str(query_file)]) == 0
 
+    def test_analyze_workers_output_identical(self, query_file, capsys):
+        assert main(["analyze", str(query_file)]) == 0
+        serial = capsys.readouterr().out
+        assert main(["analyze", "--workers", "2", str(query_file)]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_analyze_chunk_size(self, query_file, capsys):
+        assert main(["analyze", str(query_file)]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(["analyze", "--workers", "2", "--chunk-size", "1", str(query_file)])
+            == 0
+        )
+        assert capsys.readouterr().out == serial
+
     def test_corpus(self, tmp_path, capsys):
         out_dir = tmp_path / "corpus"
         exit_code = main(

@@ -11,7 +11,6 @@ from repro.workload import (
     generate_day_log,
     generate_dataset,
 )
-from repro.workload.corpus import DatasetProfile
 
 
 class TestProfiles:

@@ -6,7 +6,6 @@ random); they pin down the *signatures* the paper calls out per
 dataset, which the benchmarks then compare in aggregate.
 """
 
-import pytest
 
 from repro.analysis.study import study_corpus
 from repro.logs import build_query_log

@@ -4,7 +4,7 @@ import pytest
 
 from repro.engine import IndexedEngine, NestedLoopEngine, QueryRunResult
 from repro.exceptions import EvaluationTimeout
-from repro.workload import bib_schema, generate_graph, generate_workload
+from repro.workload import generate_graph, generate_workload
 
 
 class TestRun:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine import IndexedEngine, NestedLoopEngine, PatternEvaluator
+from repro.engine import IndexedEngine, NestedLoopEngine
 from repro.exceptions import EvaluationError
 from repro.rdf import Graph, IRI, Literal, Triple, Variable
 from repro.sparql import parse_query
@@ -51,9 +51,12 @@ class TestBGP:
         )
         indexed = IndexedEngine(social_graph).evaluate(query)
         scanned = NestedLoopEngine(social_graph).evaluate(query)
-        canonical = lambda rows: sorted(
-            tuple(sorted((v.name, str(t)) for v, t in row.items())) for row in rows
-        )
+        def canonical(rows):
+            return sorted(
+                tuple(sorted((v.name, str(t)) for v, t in row.items()))
+                for row in rows
+            )
+
         assert canonical(indexed) == canonical(scanned)
 
 

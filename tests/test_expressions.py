@@ -8,7 +8,7 @@ from repro.engine.expressions import (
     evaluate_expression,
 )
 from repro.rdf import IRI, BlankNode, Literal, Variable
-from repro.rdf.terms import XSD_BOOLEAN, XSD_DOUBLE, XSD_INTEGER
+from repro.rdf.terms import XSD_BOOLEAN, XSD_INTEGER
 from repro.sparql import parse_query
 
 

@@ -1,7 +1,7 @@
 """Unit tests for shallow feature extraction (Table 2 semantics)."""
 
 from repro.analysis import extract_features
-from repro.sparql import ast, parse_query
+from repro.sparql import parse_query
 
 
 def features(text):

@@ -2,7 +2,7 @@
 
 from repro.analysis import classify_fragments, is_aof, is_cpf, is_cq, is_cqf
 from repro.analysis.fragments import is_simple_filter
-from repro.sparql import ast, parse_query
+from repro.sparql import parse_query
 
 
 def pattern_of(text):

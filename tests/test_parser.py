@@ -1,6 +1,5 @@
 """Unit tests for the SPARQL parser (happy paths)."""
 
-import pytest
 
 from repro.rdf import IRI, BlankNode, Literal, Variable
 from repro.sparql import ast, parse_query

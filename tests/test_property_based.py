@@ -11,7 +11,6 @@ from repro.analysis import (
     levenshtein,
     treewidth,
 )
-from repro.analysis.canonical import Hypergraph
 from repro.analysis.graphutil import Multigraph
 from repro.rdf import IRI, Literal, Variable
 from repro.sparql import ast, parse_query, serialize_query

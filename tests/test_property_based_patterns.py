@@ -6,7 +6,6 @@ the analyses together: round-trips, fragment-membership monotonicity,
 engine agreement, and study accounting.
 """
 
-import string
 
 from hypothesis import given, settings, strategies as st
 

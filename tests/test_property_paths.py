@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import classify_path, in_ctract, is_navigational
+from repro.analysis import classify_path, in_ctract
 from repro.sparql import ast, parse_query
 
 

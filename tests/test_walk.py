@@ -1,7 +1,6 @@
 """Unit tests for AST traversal utilities."""
 
-from repro.rdf import Variable
-from repro.sparql import ast, parse_query, walk
+from repro.sparql import parse_query, walk
 
 
 class TestIterPatterns:

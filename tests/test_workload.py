@@ -10,7 +10,6 @@ from repro.workload import (
     DegreeDistribution,
     GraphSchema,
     Predicate,
-    bib_schema,
     chain_query,
     cycle_query,
     flower_query,
