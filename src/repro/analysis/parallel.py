@@ -1,10 +1,13 @@
-"""Sharded, multiprocessing-capable execution of the pipeline and study.
+"""Sharded, streaming, multiprocessing-capable pipeline and study drivers.
 
 The paper's headline corpus is ~180M queries; a strictly serial
-clean → parse → measure pass bounds corpus size by one core and one
-heap.  This module splits the work into chunks, runs them on worker
-processes, and combines the partial results through the mergeable
-accumulators (:class:`~repro.logs.pipeline.LogShard`,
+clean → parse → measure pass bounds corpus size by one core — and a
+driver that materializes the raw stream before sharding it bounds
+corpus size by one heap.  This module does neither: the work is split
+into chunks *lazily*, the chunks are executed with a bounded number in
+flight (``imap``-style backpressure), and the partial results are
+combined in stream order through the mergeable accumulators
+(:class:`~repro.logs.pipeline.LogShard`,
 :class:`~repro.analysis.study.DatasetStats`,
 :class:`~repro.analysis.study.CorpusStudy`):
 
@@ -15,27 +18,49 @@ accumulators (:class:`~repro.logs.pipeline.LogShard`,
 * :func:`study_corpus_parallel` — the full corpus study over chunks of
   the (already deduplicated) per-dataset query streams.
 
+Both accept plain iterators — e.g. the lazy file sources of
+:mod:`repro.logs.sources` — and never pull more than
+``workers × _CHUNKS_PER_WORKER`` chunks of input into memory at once:
+peak ingestion memory is O(workers × chunk_size), not O(log size).
+(The deduplicated unique set is accumulated by design — it *is* the
+result — so total memory is chunk window + unique state.)
+
 Chunks are always merged in stream order, so both functions are
 guaranteed to reproduce the serial result exactly — including counter
 key order, which breaks ties in table rendering.  ``workers=1`` (or a
 single chunk) never touches :mod:`multiprocessing`: it runs the same
-chunked code path serially and deterministically in-process.
+chunked code path serially, lazily, and deterministically in-process.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import threading
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from itertools import chain, islice
+import multiprocessing
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 from ..logs.pipeline import LogShard, ParseCache, ParsedQuery, QueryLog, process_entries
 from .study import CorpusStudy, DatasetStats, _analyze_query
 
 __all__ = [
+    "DEFAULT_STREAM_CHUNK_SIZE",
     "build_query_log_parallel",
     "build_query_logs_parallel",
+    "default_chunk_size",
+    "imap_bounded",
     "iter_chunks",
     "measure_chunk",
     "merge_shards",
@@ -44,11 +69,20 @@ __all__ = [
     "study_corpus_parallel",
 ]
 
-#: Target number of chunks handed to each worker.  More than one chunk
+_Payload = TypeVar("_Payload")
+_Result = TypeVar("_Result")
+
+#: Target number of in-flight chunks per worker.  More than one chunk
 #: per worker smooths load imbalance (shape/treewidth analysis cost
-#: varies wildly per query); the value is deterministic so chunk
-#: boundaries — and therefore merge order — never depend on timing.
+#: varies wildly per query) while keeping the backpressure window — and
+#: therefore peak memory — a small fixed multiple of the chunk size.
+#: The value is deterministic so chunk boundaries and merge order never
+#: depend on timing.
 _CHUNKS_PER_WORKER = 4
+
+#: Chunk size used when the input is a one-shot iterator whose length
+#: is unknowable up front (the streaming ingestion path).
+DEFAULT_STREAM_CHUNK_SIZE = 1024
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -63,12 +97,25 @@ def default_chunk_size(n_items: int, workers: int) -> int:
     return max(1, -(-n_items // (workers * _CHUNKS_PER_WORKER)))
 
 
-def iter_chunks(items: Sequence, chunk_size: int) -> Iterator[List]:
-    """Split *items* into contiguous chunks of at most *chunk_size*."""
+def iter_chunks(items: Iterable[_Payload], chunk_size: int) -> Iterator[List[_Payload]]:
+    """Lazily split *items* into contiguous chunks of at most *chunk_size*.
+
+    Accepts any iterable — including one-shot iterators — and never
+    holds more than one chunk of it.  ``chunk_size`` is validated
+    eagerly so misuse fails at the call site, not mid-stream.
+    """
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-    for start in range(0, len(items), chunk_size):
-        yield list(items[start : start + chunk_size])
+    return _iter_chunks(items, chunk_size)
+
+
+def _iter_chunks(items: Iterable[_Payload], chunk_size: int) -> Iterator[List[_Payload]]:
+    iterator = iter(items)
+    while True:
+        chunk = list(islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield chunk
 
 
 # ---------------------------------------------------------------------------
@@ -102,6 +149,25 @@ def _measure_chunk(payload: Tuple[str, List[ParsedQuery], bool]) -> CorpusStudy:
     return measure_chunk(dataset, queries, dedup=dedup)
 
 
+#: Logs shared with fork-started measure workers through inherited
+#: memory: the measure phase always runs over *materialized*
+#: :class:`QueryLog` objects, so index slices — not chunks of recursive
+#: AST object graphs — are what crosses the process boundary.  Set (and
+#: held, under the lock) for the whole drain of one
+#: :func:`study_corpus_parallel` run, because pool workers fork lazily
+#: on first submit; cleared right after.  The lock serializes
+#: concurrent runs in one process so a second thread can't swap the
+#: global between another run's fork and its submits.
+_SHARED_LOGS: Optional[Mapping[str, QueryLog]] = None
+_SHARED_LOGS_LOCK = threading.Lock()
+
+
+def _measure_slice(payload: Tuple[str, int, int, bool]) -> CorpusStudy:
+    name, start, stop, dedup = payload
+    assert _SHARED_LOGS is not None
+    return measure_chunk(name, _SHARED_LOGS[name].parsed[start:stop], dedup=dedup)
+
+
 def measure_chunk(
     dataset: str, queries: Iterable[ParsedQuery], dedup: bool = True
 ) -> CorpusStudy:
@@ -114,22 +180,6 @@ def measure_chunk(
     return study
 
 
-#: Payloads shared with fork-started workers through inherited memory.
-#: Set immediately before the pool is created (children snapshot the
-#: parent's address space at fork), cleared right after; workers index
-#: into it so chunk inputs are never pickled.  The lock serializes
-#: concurrent parallel runs in one process: a second thread must not
-#: swap the global between another run's fork and its map.
-_SHARED_PAYLOADS: Optional[List] = None
-_SHARED_LOCK = threading.Lock()
-
-
-def _call_shared(args) -> object:
-    worker_fn, index = args
-    assert _SHARED_PAYLOADS is not None
-    return worker_fn(_SHARED_PAYLOADS[index])
-
-
 def _fork_context():
     try:
         return multiprocessing.get_context("fork")
@@ -137,36 +187,72 @@ def _fork_context():
         return None
 
 
-def _run_tasks(worker_fn, payloads: List, workers: int, initializer=None) -> List:
-    """Run *worker_fn* over *payloads*, on processes when it pays off.
+def imap_bounded(
+    worker_fn: Callable[[_Payload], _Result],
+    payloads: Iterable[_Payload],
+    workers: int,
+    *,
+    initializer: Optional[Callable[[], None]] = None,
+    max_inflight: Optional[int] = None,
+) -> Iterator[_Result]:
+    """Apply *worker_fn* to *payloads*, yielding results in input order.
 
-    ``workers=1`` (or a single payload) is the deterministic serial
-    fallback: same code path, same order, no multiprocessing.  With a
-    ``fork`` start method the payloads travel to workers via inherited
-    memory instead of pickling; only results cross process boundaries.
+    The streaming heart of this module.  *payloads* may be a one-shot
+    iterator; it is consumed with backpressure — at most *max_inflight*
+    (default ``workers × _CHUNKS_PER_WORKER``) payloads are pulled
+    ahead of the consumer, so peak memory is bounded by the window, not
+    the stream.  Results are yielded strictly in submission order,
+    which is what makes merge-in-stream-order reproducible.
+
+    ``workers=1`` — or a stream that turns out to hold at most one
+    payload — is the deterministic serial fallback: same code path,
+    same order, fully lazy, no :mod:`multiprocessing` and no pickling.
+
+    *workers* is validated eagerly, at the call site rather than from
+    inside the pool mid-stream (callers resolve 0/None via
+    :func:`resolve_workers` first).
     """
-    if workers == 1 or len(payloads) <= 1:
-        return [worker_fn(payload) for payload in payloads]
-    global _SHARED_PAYLOADS
-    max_workers = min(workers, len(payloads))
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return _imap_bounded(
+        worker_fn, payloads, workers, initializer=initializer, max_inflight=max_inflight
+    )
+
+
+def _imap_bounded(
+    worker_fn: Callable[[_Payload], _Result],
+    payloads: Iterable[_Payload],
+    workers: int,
+    *,
+    initializer: Optional[Callable[[], None]],
+    max_inflight: Optional[int],
+) -> Iterator[_Result]:
+    iterator = iter(payloads)
+    if workers != 1:
+        head = list(islice(iterator, 2))
+        if len(head) > 1:
+            iterator = chain(head, iterator)
+        else:
+            iterator, workers = iter(head), 1
+    if workers == 1:
+        for payload in iterator:
+            yield worker_fn(payload)
+        return
+    if max_inflight is None:
+        max_inflight = workers * _CHUNKS_PER_WORKER
+    max_inflight = max(max_inflight, workers)
     context = _fork_context()
-    if context is not None:
-        with _SHARED_LOCK:
-            _SHARED_PAYLOADS = payloads
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=max_workers, mp_context=context, initializer=initializer
-                ) as executor:
-                    return list(
-                        executor.map(
-                            _call_shared,
-                            [(worker_fn, i) for i in range(len(payloads))],
-                        )
-                    )
-            finally:
-                _SHARED_PAYLOADS = None
-    with ProcessPoolExecutor(max_workers=max_workers, initializer=initializer) as executor:
-        return list(executor.map(worker_fn, payloads))
+    kwargs = {} if context is None else {"mp_context": context}
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=initializer, **kwargs
+    ) as executor:
+        pending: deque = deque()
+        for payload in iterator:
+            pending.append(executor.submit(worker_fn, payload))
+            if len(pending) >= max_inflight:
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()
 
 
 # ---------------------------------------------------------------------------
@@ -195,6 +281,28 @@ def merge_studies(studies: Iterable[CorpusStudy], dedup: bool = True) -> CorpusS
 # ---------------------------------------------------------------------------
 
 
+def _resolve_chunk_size(
+    chunk_size: Optional[int], corpora: Mapping[str, Iterable], workers: int
+) -> int:
+    """Pick a chunk size without forcing lazy inputs.
+
+    When every stream knows its length, size chunks against the whole
+    corpus (many small logs must not explode into many tiny shards).
+    Any unsized iterator in the mix means streaming mode: a fixed
+    default keeps memory bounded without counting the stream first.
+    """
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        return chunk_size
+    sizes = []
+    for texts in corpora.values():
+        if not hasattr(texts, "__len__"):
+            return DEFAULT_STREAM_CHUNK_SIZE
+        sizes.append(len(texts))  # type: ignore[arg-type]
+    return default_chunk_size(sum(sizes), workers)
+
+
 def build_query_logs_parallel(
     corpora: Mapping[str, Iterable[str]],
     extra_prefixes: Optional[Dict[str, str]] = None,
@@ -202,28 +310,42 @@ def build_query_logs_parallel(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
 ) -> Dict[str, QueryLog]:
-    """Sharded clean → parse → dedup over a whole corpus of raw logs.
+    """Streaming clean → parse → dedup over a whole corpus of raw logs.
 
     All datasets share one worker pool, so small logs don't each pay
-    the pool start-up cost.  Per dataset, shards are merged in stream
-    order: the result is identical to the serial pipeline.
+    the pool start-up cost.  Corpus values may be lists *or* lazy
+    iterators (e.g. :func:`repro.logs.sources.iter_entries`); either
+    way the stream is chunked lazily and consumed with bounded
+    in-flight chunks.  Per dataset, shards are merged in stream order:
+    the result is identical to the serial pipeline.
     """
     workers = resolve_workers(workers)
-    materialized = {name: list(texts) for name, texts in corpora.items()}
-    size = chunk_size
-    if size is None:
-        # Size chunks against the whole corpus, not per dataset: many
-        # small logs must not explode into many tiny shards (each shard
-        # re-parses its own duplicates and pickles its own ASTs back).
-        total = sum(len(texts) for texts in materialized.values())
-        size = default_chunk_size(total, workers)
-    payloads = []
-    for name, texts in materialized.items():
-        for chunk in iter_chunks(texts, size):
-            payloads.append((name, chunk, extra_prefixes))
-    results = _run_tasks(_parse_chunk, payloads, workers, _init_parse_worker)
+    size = _resolve_chunk_size(chunk_size, corpora, workers)
+
+    def payloads() -> Iterator[Tuple[str, List[str], Optional[Dict[str, str]]]]:
+        for name, texts in corpora.items():
+            for chunk in iter_chunks(texts, size):
+                yield (name, chunk, extra_prefixes)
+
+    if workers == 1:
+        # In-process: share one run-local parse cache across all chunks
+        # and datasets, like the serial pipeline — duplicate-heavy logs
+        # parse O(unique) texts, not O(total).  Run-local (not module
+        # state), so successive runs can't leak prefix environments.
+        cache = ParseCache()
+
+        def parse_chunk(payload):
+            name, texts, prefixes = payload
+            return name, process_entries(texts, extra_prefixes=prefixes, cache=cache)
+
+        worker_fn, initializer = parse_chunk, None
+    else:
+        worker_fn, initializer = _parse_chunk, _init_parse_worker
+
     merged: Dict[str, LogShard] = {name: LogShard() for name in corpora}
-    for name, shard in results:
+    for name, shard in imap_bounded(
+        worker_fn, payloads(), workers, initializer=initializer
+    ):
         merged[name].merge(shard)
     return {name: shard.to_query_log(name) for name, shard in merged.items()}
 
@@ -236,7 +358,7 @@ def build_query_log_parallel(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
 ) -> QueryLog:
-    """Sharded clean → parse → dedup, identical to the serial pipeline."""
+    """Streaming clean → parse → dedup, identical to the serial pipeline."""
     logs = build_query_logs_parallel(
         {name: raw_queries},
         extra_prefixes,
@@ -258,6 +380,12 @@ def study_corpus_parallel(
     The Table 1 counters (Total/Valid/Unique) are carried by the
     pre-created per-dataset stats; worker shards contribute measurement
     counters only, so merging never double-counts the pipeline totals.
+    Chunks are produced lazily and kept in flight in bounded number, so
+    even a huge materialized log is never copied wholesale into a
+    payload list — and on fork platforms workers receive (name, start,
+    stop) index slices and read the logs through inherited memory, so
+    no AST chunks are pickled into the pool at all (only the small
+    partial studies come back).
     """
     workers = resolve_workers(workers)
     study = CorpusStudy(dedup=dedup)
@@ -265,14 +393,35 @@ def study_corpus_parallel(
     if size is None:
         total = sum(log.unique for log in logs.values())
         size = default_chunk_size(total, workers)
-    payloads: List[Tuple[str, List[ParsedQuery], bool]] = []
     for name, log in logs.items():
         study.datasets[name] = DatasetStats(
             name=name, total=log.total, valid=log.valid, unique=log.unique
         )
-        for chunk in iter_chunks(list(log.unique_queries()), size):
-            payloads.append((name, chunk, dedup))
-    partials = _run_tasks(_measure_chunk, payloads, workers)
-    for partial in partials:
+
+    if workers != 1 and _fork_context() is not None:
+        # Fork path: ship (name, start, stop) index slices and let the
+        # workers read the logs from inherited memory — no pickling of
+        # AST chunks into the pool, only the small partial studies back.
+        def slice_payloads() -> Iterator[Tuple[str, int, int, bool]]:
+            for name, log in logs.items():
+                for start in range(0, log.unique, size):
+                    yield (name, start, min(start + size, log.unique), dedup)
+
+        global _SHARED_LOGS
+        with _SHARED_LOGS_LOCK:
+            _SHARED_LOGS = logs
+            try:
+                for partial in imap_bounded(_measure_slice, slice_payloads(), workers):
+                    study.merge(partial)
+            finally:
+                _SHARED_LOGS = None
+        return study
+
+    def payloads() -> Iterator[Tuple[str, List[ParsedQuery], bool]]:
+        for name, log in logs.items():
+            for chunk in iter_chunks(log.unique_queries(), size):
+                yield (name, chunk, dedup)
+
+    for partial in imap_bounded(_measure_chunk, payloads(), workers):
         study.merge(partial)
     return study

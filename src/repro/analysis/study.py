@@ -352,7 +352,8 @@ def study_corpus(
     """Run the full analysis over processed logs.
 
     With ``workers > 1`` the per-dataset query streams are split into
-    chunks measured on worker processes and the partial studies merged
+    lazily-produced chunks measured on worker processes with bounded
+    in-flight chunks, and the partial studies merged in stream order
     (see :mod:`repro.analysis.parallel`); the result is identical to
     the serial pass.
     """

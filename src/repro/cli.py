@@ -27,7 +27,14 @@ from .analysis import find_streaks, streak_length_histogram
 from .analysis.parallel import build_query_logs_parallel
 from .analysis.study import study_corpus
 from .engine import IndexedEngine, NestedLoopEngine
-from .logs import ParseCache, build_query_log, encode_access_log_line, iter_queries
+from .logs import (
+    ParseCache,
+    build_query_log,
+    dataset_name,
+    encode_access_log_line,
+    iter_entries,
+    read_entries,
+)
 from .reporting import render_figure3, render_study, render_table6
 from .workload import (
     bib_schema,
@@ -41,39 +48,38 @@ __all__ = ["main", "read_query_file"]
 
 
 def read_query_file(path: Path) -> List[str]:
-    """Read queries from *path*.
+    """Read queries from *path* (a file, gzip file, or log directory).
 
-    Three formats are auto-detected:
-
-    * access-log lines (``... "GET /sparql?query=..." ...``);
-    * one query per line, with literal ``\\n`` escapes allowed;
-    * blank-line separated multi-line queries.
+    Delegates to :mod:`repro.logs.sources`: the format is auto-detected
+    (access-log lines, one query per line with literal ``\\n`` escapes,
+    or blank-line separated multi-line queries) and gzip input is
+    decompressed transparently.
     """
-    text = path.read_text(encoding="utf-8", errors="replace")
-    lines = text.splitlines()
-    if any('"GET ' in line or '"POST ' in line for line in lines[:10]):
-        return list(iter_queries(lines))
-    if any(not line.strip() for line in lines):
-        blocks: List[str] = []
-        current: List[str] = []
-        for line in lines:
-            if line.strip():
-                current.append(line)
-            elif current:
-                blocks.append("\n".join(current))
-                current = []
-        if current:
-            blocks.append("\n".join(current))
-        return blocks
-    return [line.replace("\\n", "\n") for line in lines if line.strip()]
+    return read_entries(path)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    corpora = {}
-    for file_name in args.files:
-        path = Path(file_name)
-        corpora[path.stem] = read_query_file(path)
-    if args.workers != 1:
+    paths = [Path(file_name) for file_name in args.files]
+    seen: dict = {}
+    for path in paths:
+        name = dataset_name(path)
+        if name in seen:
+            # A dict of corpora would silently drop the first file.
+            print(
+                f"analyze: inputs {seen[name]} and {path} both map to "
+                f"dataset name {name!r}; rename one",
+                file=sys.stderr,
+            )
+            return 2
+        seen[name] = path
+    # --stream: lazy ingestion, entries are chunked straight off disk
+    # with bounded in-flight chunks — peak memory is O(workers × chunk),
+    # not O(log size).  Identical output to the in-memory path.
+    corpora = {
+        dataset_name(path): iter_entries(path) if args.stream else read_query_file(path)
+        for path in paths
+    }
+    if args.stream or args.workers != 1:
         # One pool over all files: small logs share the worker start-up.
         logs = build_query_logs_parallel(
             corpora, workers=args.workers, chunk_size=args.chunk_size
@@ -170,26 +176,38 @@ def _build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     analyze = commands.add_parser("analyze", help="run the full study on query files")
-    analyze.add_argument("files", nargs="+", help="query/log files (one log each)")
+    analyze.add_argument(
+        "files",
+        nargs="+",
+        help="query/log files (one log each; plain or gzip) or log directories",
+    )
     analyze.add_argument(
         "--keep-duplicates",
         action="store_true",
         help="analyze the Valid corpus instead of the Unique one (appendix mode)",
     )
     analyze.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream entries lazily from disk with bounded in-flight chunks "
+        "(peak memory O(workers x chunk-size); output identical to the "
+        "in-memory pass)",
+    )
+    analyze.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=1,
         metavar="N",
-        help="worker processes for parsing and measuring (0 = all CPUs; "
-        "output is identical to the serial pass)",
+        help="worker processes for parsing and measuring "
+        "(output is identical to the serial pass)",
     )
     analyze.add_argument(
         "--chunk-size",
         type=_positive_int,
         default=None,
         metavar="N",
-        help="entries per shard (default: sized for ~4 chunks per worker)",
+        help="entries per shard (default: ~4 chunks per worker, or "
+        "1024 when streaming)",
     )
     analyze.set_defaults(func=_cmd_analyze)
 

@@ -1,4 +1,5 @@
-"""Log ingestion: access-log formats and the clean/parse/dedup pipeline."""
+"""Log ingestion: access-log formats, lazy on-disk sources, and the
+clean/parse/dedup pipeline."""
 
 from .formats import (
     LogEntry,
@@ -14,6 +15,15 @@ from .pipeline import (
     build_query_log,
     process_entries,
 )
+from .sources import (
+    dataset_name,
+    detect_format,
+    iter_entries,
+    iter_file_entries,
+    open_text,
+    read_entries,
+    source_paths,
+)
 
 __all__ = [
     "LogEntry",
@@ -26,4 +36,11 @@ __all__ = [
     "QueryLog",
     "build_query_log",
     "process_entries",
+    "dataset_name",
+    "detect_format",
+    "iter_entries",
+    "iter_file_entries",
+    "open_text",
+    "read_entries",
+    "source_paths",
 ]

@@ -220,11 +220,16 @@ def build_query_log(
     """Run the clean → parse → dedup pipeline over raw query texts.
 
     *raw_queries* is the post-cleaning stream (strings that look like
-    queries); entries failing to parse count toward Total but not
-    Valid.  With ``workers != 1`` the stream is split into chunks that
-    are parsed on worker processes and merged; the result is identical
-    to the serial pass, but *cache* is ignored — caches cannot cross
-    process boundaries, so each pool worker keeps its own.
+    queries) and may be a one-shot lazy iterator, e.g. from
+    :func:`repro.logs.sources.iter_entries`: both the serial pass and
+    the chunked workers path consume it incrementally, so peak memory
+    is bounded by the chunk window plus the deduplicated unique state —
+    never the raw log size.  Entries failing to parse count toward
+    Total but not Valid.  With ``workers != 1`` the stream is split
+    into chunks that are parsed on worker processes with bounded
+    in-flight chunks and merged in stream order; the result is
+    identical to the serial pass, but *cache* is ignored — caches
+    cannot cross process boundaries, so each pool worker keeps its own.
     """
     if workers != 1:
         from ..analysis.parallel import build_query_log_parallel

@@ -8,6 +8,21 @@ from repro.rdf import Graph, IRI, Literal, Triple
 from repro.workload import bib_schema, generate_graph
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden report files under tests/goldens/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture()
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture(scope="session")
 def schema():
     return bib_schema()

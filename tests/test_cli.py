@@ -50,6 +50,14 @@ class TestReadQueryFile:
         queries = read_query_file(path)
         assert queries == ["ASK { ?s ?p ?o }", "SELECT * WHERE { ?s ?p ?o }"]
 
+    def test_gzip_input(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "access.log.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(encode_access_log_line("ASK { ?s ?p ?o }") + "\n")
+        assert read_query_file(path) == ["ASK { ?s ?p ?o }"]
+
 
 class TestCommands:
     def test_analyze(self, query_file, capsys):
@@ -102,6 +110,35 @@ class TestCommands:
         assert "chain-W3 BG" in output
         assert "cycle-W3 PG" in output
 
+    def test_analyze_stream_output_identical(self, query_file, capsys):
+        assert main(["analyze", str(query_file)]) == 0
+        serial = capsys.readouterr().out
+        assert main(["analyze", "--stream", str(query_file)]) == 0
+        assert capsys.readouterr().out == serial
+        assert (
+            main(
+                [
+                    "analyze", "--stream", "--workers", "2",
+                    "--chunk-size", "1", str(query_file),
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == serial
+
+    def test_analyze_directory_input(self, tmp_path, capsys):
+        log_dir = tmp_path / "logs"
+        log_dir.mkdir()
+        (log_dir / "a.log").write_text(
+            encode_access_log_line("ASK { ?s ?p ?o }") + "\n"
+        )
+        (log_dir / "b.rq").write_text("SELECT * WHERE { ?a ?b ?c }\n")
+        assert main(["analyze", str(log_dir)]) == 0
+        serial = capsys.readouterr().out
+        assert "logs" in serial
+        assert main(["analyze", "--stream", str(log_dir)]) == 0
+        assert capsys.readouterr().out == serial
+
     def test_streaks_synthetic(self, capsys):
         exit_code = main(["streaks", "--synthetic", "60"])
         output = capsys.readouterr().out
@@ -123,3 +160,37 @@ class TestCommands:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["nope"])
+
+
+class TestArgumentValidation:
+    """`--workers <= 0` and `--chunk-size <= 0` must die with a clear
+    argparse error (exit code 2), not a crash or a silent hang."""
+
+    @pytest.mark.parametrize("value", ["0", "-1", "-4"])
+    def test_rejects_nonpositive_workers(self, query_file, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--workers", value, str(query_file)])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_rejects_nonpositive_chunk_size(self, query_file, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--chunk-size", value, str(query_file)])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_rejects_non_integer_workers(self, query_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--workers", "two", str(query_file)])
+        assert excinfo.value.code == 2
+
+    def test_rejects_colliding_dataset_names(self, tmp_path, capsys):
+        # day.log and day.rq both map to dataset "day"; a corpora dict
+        # would silently drop one file's entries from the report.
+        first = tmp_path / "day.log"
+        first.write_text("ASK { ?s ?p ?o }\n")
+        second = tmp_path / "day.rq"
+        second.write_text("SELECT * WHERE { ?a ?b ?c }\n")
+        assert main(["analyze", str(first), str(second)]) == 2
+        assert "dataset name" in capsys.readouterr().err

@@ -209,6 +209,17 @@ class TestStudyMerge:
         parallel = study_corpus_parallel(logs, dedup=False, workers=2, chunk_size=5)
         assert render_study(parallel, logs) == render_study(serial, logs)
 
+    def test_fork_shared_slices_match_chunk_payloads(self):
+        # The fork path ships (name, start, stop) index slices through
+        # inherited memory; it must reproduce the pickled-chunk path
+        # (and the serial pass) exactly, and clean up the shared state.
+        from repro.analysis import parallel as par
+
+        logs = corpus_logs()
+        result = study_corpus_parallel(logs, dedup=True, workers=2, chunk_size=7)
+        assert par._SHARED_LOGS is None
+        assert render_study(result, logs) == render_study(serial_study(), logs)
+
     def test_serial_fallback_is_executor_free(self):
         # workers=1 through the parallel driver must not need pickling
         # or subprocesses, and still matches the plain serial pass.
@@ -308,6 +319,33 @@ class TestChunking:
     def test_iter_chunks_rejects_bad_size(self):
         with pytest.raises(ValueError):
             list(iter_chunks([1], 0))
+
+    def test_imap_bounded_validates_workers_eagerly(self):
+        from repro.analysis.parallel import imap_bounded
+
+        with pytest.raises(ValueError):
+            imap_bounded(len, iter([[1], [2]]), 0)
+
+    def test_iter_chunks_validates_eagerly(self):
+        # Misuse fails at the call site, before any stream is consumed.
+        with pytest.raises(ValueError):
+            iter_chunks(iter([1]), -2)
+
+    def test_iter_chunks_accepts_one_shot_iterators(self):
+        assert list(iter_chunks(iter(range(5)), 2)) == [[0, 1], [2, 3], [4]]
+
+    def test_iter_chunks_is_lazy(self):
+        consumed = []
+
+        def source():
+            for n in range(100):
+                consumed.append(n)
+                yield n
+
+        chunks = iter_chunks(source(), 10)
+        assert next(chunks) == list(range(10))
+        # One chunk pulled, one chunk consumed: no read-ahead.
+        assert len(consumed) == 10
 
     def test_default_chunk_size(self):
         assert default_chunk_size(0, 4) == 1

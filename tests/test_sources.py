@@ -1,0 +1,159 @@
+"""Unit tests for the lazy log-entry sources (repro.logs.sources)."""
+
+import gzip
+
+import pytest
+
+from repro.cli import read_query_file
+from repro.logs import (
+    dataset_name,
+    detect_format,
+    encode_access_log_line,
+    iter_entries,
+    iter_file_entries,
+    open_text,
+    read_entries,
+    source_paths,
+)
+from repro.logs.sources import DETECT_LINES, iter_text_lines
+
+
+class TestOpenText:
+    def test_plain_text(self, tmp_path):
+        path = tmp_path / "plain.log"
+        path.write_text("hello\nworld\n")
+        with open_text(path) as handle:
+            assert handle.read() == "hello\nworld\n"
+
+    def test_gzip_by_magic_bytes_despite_plain_name(self, tmp_path):
+        # A gzipped stream misnamed ".log" must still decompress.
+        path = tmp_path / "misnamed.log"
+        path.write_bytes(gzip.compress("hidden\n".encode()))
+        with open_text(path) as handle:
+            assert handle.read() == "hidden\n"
+
+    def test_invalid_utf8_is_replaced_not_fatal(self, tmp_path):
+        path = tmp_path / "junk.log"
+        path.write_bytes(b"ok\n\xff\xfe junk\n")
+        assert "�" in "".join(iter_text_lines(path))
+
+
+class TestDetectFormat:
+    def test_access_log_signature_wins(self):
+        lines = [encode_access_log_line("ASK { ?s ?p ?o }"), "", "stray"]
+        assert detect_format(lines) == "access-log"
+
+    def test_blank_line_means_blocks(self):
+        assert detect_format(["SELECT ?x", "WHERE { }", "", "ASK { }"]) == "blocks"
+
+    def test_default_is_lines(self):
+        assert detect_format(["ASK { ?s ?p ?o }", "ASK { ?a ?b ?c }"]) == "lines"
+
+    def test_empty_sample_is_lines(self):
+        assert detect_format([]) == "lines"
+
+    def test_access_probe_limited_to_head(self):
+        # The HTTP marker only counts within the first ten lines.
+        lines = ["plain"] * 10 + ['x "GET /sparql?query=q HTTP/1.1" 200 1']
+        assert detect_format(lines) == "lines"
+
+
+class TestIterFileEntries:
+    def test_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "q.rq"
+        path.write_text("ASK { ?s ?p ?o }\n")
+        with pytest.raises(ValueError):
+            iter_file_entries(path, format="parquet")
+
+    def test_explicit_format_skips_detection(self, tmp_path):
+        path = tmp_path / "q.rq"
+        path.write_text("a\n\nb\n")
+        assert list(iter_file_entries(path, format="lines")) == ["a", "b"]
+        assert list(iter_file_entries(path, format="blocks")) == ["a", "b"]
+
+    def test_matches_materialized_reader(self, tmp_path):
+        for name, body in (
+            ("lines.rq", "SELECT ?x WHERE {\\n ?x <urn:p> ?y }\nASK { ?s ?p ?o }\n"),
+            ("blocks.rq", "SELECT ?x\nWHERE { ?x ?p ?y }\n\nASK { ?s ?p ?o }\n"),
+            (
+                "access.log",
+                encode_access_log_line("ASK { ?s ?p ?o }")
+                + "\n"
+                + "not a log line\n",
+            ),
+        ):
+            path = tmp_path / name
+            path.write_text(body)
+            assert list(iter_file_entries(path)) == read_query_file(path)
+
+    def test_lazy_consumption(self, tmp_path):
+        # Pulling one entry must not require materializing the file.
+        path = tmp_path / "big.rq"
+        path.write_text("\n".join(f"ASK {{ ?s <urn:p{i}> ?o }}" for i in range(5000)))
+        stream = iter_file_entries(path)
+        assert next(stream) == "ASK { ?s <urn:p0> ?o }"
+        stream.close()
+
+    def test_detection_window_is_bounded(self, tmp_path):
+        # A blank line beyond the peek window no longer flips the whole
+        # file to blocks format: detection is streaming, by design.
+        path = tmp_path / "long.rq"
+        lines = [f"ASK {{ ?s <urn:p{i}> ?o }}" for i in range(DETECT_LINES)]
+        path.write_text("\n".join(lines) + "\n\n")
+        assert len(list(iter_file_entries(path))) == DETECT_LINES
+
+
+class TestDirectorySources:
+    def test_source_paths_sorted_and_filtered(self, tmp_path):
+        log_dir = tmp_path / "logs"
+        log_dir.mkdir()
+        (log_dir / "b.log").write_text("ASK { ?s ?p ?o }\n")
+        (log_dir / "a.log").write_text("ASK { ?a ?p ?o }\n")
+        (log_dir / ".hidden").write_text("junk\n")
+        (log_dir / "sub").mkdir()
+        assert [p.name for p in source_paths(log_dir)] == ["a.log", "b.log"]
+
+    def test_file_source_is_itself(self, tmp_path):
+        path = tmp_path / "one.log"
+        path.write_text("ASK { ?s ?p ?o }\n")
+        assert source_paths(path) == [path]
+
+    def test_directory_concatenates_in_name_order(self, tmp_path):
+        log_dir = tmp_path / "logs"
+        log_dir.mkdir()
+        (log_dir / "2.rq").write_text("ASK { ?b ?p ?o }\n")
+        (log_dir / "1.rq").write_text("ASK { ?a ?p ?o }\n")
+        assert read_entries(log_dir) == ["ASK { ?a ?p ?o }", "ASK { ?b ?p ?o }"]
+
+    def test_mixed_formats_per_file(self, tmp_path):
+        log_dir = tmp_path / "logs"
+        log_dir.mkdir()
+        (log_dir / "a.log").write_text(
+            encode_access_log_line("ASK { ?s ?p ?o }") + "\n"
+        )
+        with gzip.open(log_dir / "b.rq.gz", "wt", encoding="utf-8") as handle:
+            handle.write("SELECT * WHERE { ?a ?b ?c }\n")
+        assert list(iter_entries(log_dir)) == [
+            "ASK { ?s ?p ?o }",
+            "SELECT * WHERE { ?a ?b ?c }",
+        ]
+
+    def test_empty_file_yields_nothing(self, tmp_path):
+        path = tmp_path / "empty.log"
+        path.write_text("")
+        assert list(iter_entries(path)) == []
+
+
+class TestDatasetName:
+    def test_strips_gz_and_extension(self):
+        assert dataset_name("logs/dbpedia.log.gz") == "dbpedia"
+        assert dataset_name("dbpedia.log") == "dbpedia"
+        assert dataset_name("corpus-out") == "corpus-out"
+        assert dataset_name("queries.rq") == "queries"
+
+    def test_directory_name_keeps_dots(self, tmp_path):
+        # A directory is its own name: "logs.2015/" must not be
+        # truncated to "logs" (which would collide with "logs.2016/").
+        dotted = tmp_path / "logs.2015"
+        dotted.mkdir()
+        assert dataset_name(dotted) == "logs.2015"
