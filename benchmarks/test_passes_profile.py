@@ -1,0 +1,74 @@
+"""Analyzer-pass microbench: machine-readable per-pass timings.
+
+Runs the profiled study twice over the session corpus — structural
+cache enabled and disabled — and writes ``BENCH_passes.json`` (path
+overridable via ``REPRO_BENCH_PASSES_JSON``) with per-pass wall time,
+the cache hit rate, and the cached/uncached comparison.  The CI
+bench-smoke job uploads the file as an artifact, so the perf
+trajectory of the analysis hot path is recorded per commit instead of
+scrolling away in job logs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from _bench_utils import banner
+from repro.analysis.context import AnalysisOptions
+from repro.analysis.study import study_corpus
+
+
+def profiled_run(corpus_logs, cache_size):
+    study = study_corpus(
+        corpus_logs, options=AnalysisOptions(profile=True, cache_size=cache_size)
+    )
+    return study.pass_profile
+
+
+def test_pass_profile_artifact(corpus_study, corpus_logs):
+    cached = profiled_run(corpus_logs, cache_size=4096)
+    uncached = profiled_run(corpus_logs, cache_size=0)
+
+    lookups = cached.cache_hits + cached.cache_misses
+    payload = {
+        "queries": cached.queries,
+        "passes": {
+            name: round(seconds, 6)
+            for name, seconds in sorted(cached.seconds.items())
+        },
+        "total_seconds": round(cached.total_seconds, 6),
+        "uncached_total_seconds": round(uncached.total_seconds, 6),
+        "cache": {
+            "hits": cached.cache_hits,
+            "misses": cached.cache_misses,
+            "hit_rate": round(cached.cache_hit_rate, 4),
+        },
+    }
+    out_path = Path(os.environ.get("REPRO_BENCH_PASSES_JSON", "BENCH_passes.json"))
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    banner("Analyzer passes: per-pass wall time (cache on)")
+    for name, seconds in sorted(
+        cached.seconds.items(), key=lambda item: item[1], reverse=True
+    ):
+        print(f"  {name:<10} {seconds:8.4f}s")
+    print(
+        f"  cache: {cached.cache_hits}/{lookups} hits "
+        f"({100.0 * cached.cache_hit_rate:.1f}%), "
+        f"total {cached.total_seconds:.4f}s vs "
+        f"{uncached.total_seconds:.4f}s uncached"
+    )
+    print(f"  wrote {out_path}")
+
+    # The profiled pipeline measured the whole unique stream, and the
+    # shared fixture study proves the numbers came from the same corpus.
+    assert cached.queries == sum(
+        stats.queries for stats in corpus_study.datasets.values()
+    )
+    assert set(cached.seconds) == {
+        "shallow", "paths", "operators", "fragments", "structure",
+    }
+    assert lookups > 0
+    assert out_path.exists()

@@ -54,7 +54,7 @@ from .exceptions import (
     WorkloadError,
 )
 from .logs import LogShard, ParseCache, QueryLog, build_query_log, process_entries
-from .rdf import Graph, IRI, BlankNode, Literal, Triple, Variable
+from .rdf import IRI, BlankNode, Graph, Literal, Triple, Variable
 from .sparql import parse_query, serialize_query
 from .workload import (
     bib_schema,

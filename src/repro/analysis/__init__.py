@@ -7,6 +7,13 @@ from .canonical import (
     collect_triples,
     has_predicate_variable,
 )
+from .context import (
+    AnalysisContext,
+    AnalysisOptions,
+    StructureCache,
+    graph_signature,
+    hypergraph_signature,
+)
 from .features import QueryFeatures, detect_projection, extract_features
 from .fragments import (
     FragmentProfile,
@@ -32,6 +39,14 @@ from .parallel import (
     merge_shards,
     merge_studies,
     study_corpus_parallel,
+)
+from .passes import (
+    PASS_NAMES,
+    AnalysisPass,
+    PassProfile,
+    default_passes,
+    resolve_passes,
+    run_passes,
 )
 from .property_paths import (
     PathClassification,
@@ -61,6 +76,17 @@ from .welldesigned import (
 )
 
 __all__ = [
+    "AnalysisContext",
+    "AnalysisOptions",
+    "AnalysisPass",
+    "PASS_NAMES",
+    "PassProfile",
+    "StructureCache",
+    "default_passes",
+    "graph_signature",
+    "hypergraph_signature",
+    "resolve_passes",
+    "run_passes",
     "StreakMetrics",
     "compute_streak_metrics",
     "keyword_evolution",

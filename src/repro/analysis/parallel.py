@@ -34,12 +34,13 @@ chunked code path serially, lazily, and deterministically in-process.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import threading
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from functools import partial
 from itertools import chain, islice
-import multiprocessing
 from typing import (
     Callable,
     Dict,
@@ -53,7 +54,9 @@ from typing import (
 )
 
 from ..logs.pipeline import LogShard, ParseCache, ParsedQuery, QueryLog, process_entries
-from .study import CorpusStudy, DatasetStats, _analyze_query
+from .context import DEFAULT_OPTIONS, AnalysisOptions, StructureCache
+from .passes import PassProfile, resolve_passes, run_passes
+from .study import CorpusStudy, DatasetStats
 
 __all__ = [
     "DEFAULT_STREAM_CHUNK_SIZE",
@@ -125,8 +128,10 @@ def _iter_chunks(items: Iterable[_Payload], chunk_size: int) -> Iterator[List[_P
 
 #: Per-worker parse cache, created by the pool initializer so it lives
 #: for the whole pool: duplicates recurring across a worker's chunks are
-#: parsed once.  Stays ``None`` in the parent, so the serial fallback
-#: keeps its per-chunk caches and successive calls can't leak prefixes.
+#: parsed once.  In the parent it is only ever set by the collapsed
+#: (<= 1 payload) serial fallback, which re-runs the initializer first —
+#: each run gets a fresh cache, so prefix environments can't leak
+#: between runs.
 _WORKER_PARSE_CACHE: Optional[ParseCache] = None
 
 
@@ -144,9 +149,27 @@ def _parse_chunk(
     )
 
 
-def _measure_chunk(payload: Tuple[str, List[ParsedQuery], bool]) -> CorpusStudy:
-    dataset, queries, dedup = payload
-    return measure_chunk(dataset, queries, dedup=dedup)
+#: Per-worker structural-signature cache, created by the pool
+#: initializer so it lives for the whole pool: recurring query shapes
+#: across a worker's chunks reuse their shape/treewidth/hypertree
+#: results.  Bounded LRU, so per-worker memory stays O(cache_size) and
+#: the O(workers × chunk) ingestion invariant holds.  Stays ``None`` in
+#: the parent (the serial paths build run-local caches instead).
+_WORKER_STRUCTURE_CACHE: Optional[StructureCache] = None
+
+
+def _init_measure_worker(options: AnalysisOptions) -> None:
+    global _WORKER_STRUCTURE_CACHE
+    _WORKER_STRUCTURE_CACHE = StructureCache(options.cache_size)
+
+
+def _measure_chunk(
+    payload: Tuple[str, List[ParsedQuery], bool, AnalysisOptions],
+) -> CorpusStudy:
+    dataset, queries, dedup, options = payload
+    return measure_chunk(
+        dataset, queries, dedup=dedup, options=options, cache=_WORKER_STRUCTURE_CACHE
+    )
 
 
 #: Logs shared with fork-started measure workers through inherited
@@ -162,21 +185,56 @@ _SHARED_LOGS: Optional[Mapping[str, QueryLog]] = None
 _SHARED_LOGS_LOCK = threading.Lock()
 
 
-def _measure_slice(payload: Tuple[str, int, int, bool]) -> CorpusStudy:
-    name, start, stop, dedup = payload
+def _measure_slice(payload: Tuple[str, int, int, bool, AnalysisOptions]) -> CorpusStudy:
+    name, start, stop, dedup, options = payload
     assert _SHARED_LOGS is not None
-    return measure_chunk(name, _SHARED_LOGS[name].parsed[start:stop], dedup=dedup)
+    return measure_chunk(
+        name,
+        _SHARED_LOGS[name].parsed[start:stop],
+        dedup=dedup,
+        options=options,
+        cache=_WORKER_STRUCTURE_CACHE,
+    )
 
 
 def measure_chunk(
-    dataset: str, queries: Iterable[ParsedQuery], dedup: bool = True
+    dataset: str,
+    queries: Iterable[ParsedQuery],
+    dedup: bool = True,
+    options: AnalysisOptions = DEFAULT_OPTIONS,
+    cache: Optional[StructureCache] = None,
 ) -> CorpusStudy:
-    """Measure one chunk of a dataset's unique stream into a partial study."""
+    """Measure one chunk of a dataset's unique stream into a partial study.
+
+    *cache* may be shared across chunks (it is transparent — results
+    never depend on it); with ``options.profile`` the chunk's own
+    timings and the cache hit/miss delta it caused land on the partial
+    study's ``pass_profile``, merged in stream order like every other
+    accumulator.
+    """
+    passes = resolve_passes(options.metrics)
+    profile = PassProfile() if options.profile else None
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
     study = CorpusStudy(dedup=dedup)
     stats = DatasetStats(name=dataset)
     study.datasets[dataset] = stats
     for parsed in queries:
-        _analyze_query(study, stats, parsed, 1 if dedup else parsed.count)
+        run_passes(
+            study,
+            stats,
+            parsed,
+            1 if dedup else parsed.count,
+            passes=passes,
+            options=options,
+            cache=cache,
+            profile=profile,
+        )
+    if profile is not None:
+        if cache is not None:
+            profile.cache_hits = cache.hits - hits_before
+            profile.cache_misses = cache.misses - misses_before
+        study.pass_profile = profile
     return study
 
 
@@ -228,13 +286,20 @@ def _imap_bounded(
     max_inflight: Optional[int],
 ) -> Iterator[_Result]:
     iterator = iter(payloads)
+    collapsed = False
     if workers != 1:
         head = list(islice(iterator, 2))
         if len(head) > 1:
             iterator = chain(head, iterator)
         else:
-            iterator, workers = iter(head), 1
+            iterator, workers, collapsed = iter(head), 1, True
     if workers == 1:
+        if collapsed and initializer is not None:
+            # A multi-worker run that turned out to hold <= 1 payload
+            # executes the worker fn in-process; run its initializer
+            # here so worker-global state (per-worker caches) exists
+            # exactly as it would inside a pool.
+            initializer()
         for payload in iterator:
             yield worker_fn(payload)
         return
@@ -374,6 +439,7 @@ def study_corpus_parallel(
     *,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    options: Optional[AnalysisOptions] = None,
 ) -> CorpusStudy:
     """Sharded corpus study, identical to the serial :func:`study_corpus`.
 
@@ -388,6 +454,8 @@ def study_corpus_parallel(
     partial studies come back).
     """
     workers = resolve_workers(workers)
+    if options is None:
+        options = DEFAULT_OPTIONS
     study = CorpusStudy(dedup=dedup)
     size = chunk_size
     if size is None:
@@ -397,31 +465,52 @@ def study_corpus_parallel(
         study.datasets[name] = DatasetStats(
             name=name, total=log.total, valid=log.valid, unique=log.unique
         )
+    initializer = partial(_init_measure_worker, options)
 
     if workers != 1 and _fork_context() is not None:
         # Fork path: ship (name, start, stop) index slices and let the
         # workers read the logs from inherited memory — no pickling of
         # AST chunks into the pool, only the small partial studies back.
-        def slice_payloads() -> Iterator[Tuple[str, int, int, bool]]:
+        def slice_payloads() -> Iterator[Tuple[str, int, int, bool, AnalysisOptions]]:
             for name, log in logs.items():
                 for start in range(0, log.unique, size):
-                    yield (name, start, min(start + size, log.unique), dedup)
+                    yield (name, start, min(start + size, log.unique), dedup, options)
 
         global _SHARED_LOGS
         with _SHARED_LOGS_LOCK:
             _SHARED_LOGS = logs
             try:
-                for partial in imap_bounded(_measure_slice, slice_payloads(), workers):
-                    study.merge(partial)
+                for shard in imap_bounded(
+                    _measure_slice, slice_payloads(), workers, initializer=initializer
+                ):
+                    study.merge(shard)
             finally:
                 _SHARED_LOGS = None
         return study
 
-    def payloads() -> Iterator[Tuple[str, List[ParsedQuery], bool]]:
+    if workers == 1:
+        # In-process: one run-local cache shared across all chunks and
+        # datasets, like the serial study — duplicate shapes reuse
+        # their structure results.  Run-local (not module state), so
+        # successive runs with different options can't interfere.
+        run_cache = StructureCache(options.cache_size)
+
+        def measure_payload(payload):
+            name, chunk, payload_dedup, payload_options = payload
+            return measure_chunk(
+                name, chunk, dedup=payload_dedup, options=payload_options,
+                cache=run_cache,
+            )
+
+        worker_fn = measure_payload
+    else:
+        worker_fn = _measure_chunk
+
+    def payloads() -> Iterator[Tuple[str, List[ParsedQuery], bool, AnalysisOptions]]:
         for name, log in logs.items():
             for chunk in iter_chunks(log.unique_queries(), size):
-                yield (name, chunk, dedup)
+                yield (name, chunk, dedup, options)
 
-    for partial in imap_bounded(_measure_chunk, payloads(), workers):
-        study.merge(partial)
+    for shard in imap_bounded(worker_fn, payloads(), workers, initializer=initializer):
+        study.merge(shard)
     return study

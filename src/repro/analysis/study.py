@@ -27,24 +27,18 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, List, Mapping, MutableMapping, Optional, Tuple
 
 from ..logs.pipeline import ParsedQuery, QueryLog
-from ..sparql import ast, walk
-from .canonical import canonical_graph, canonical_hypergraph, has_predicate_variable
-from .features import KEYWORD_ORDER, extract_features
-from .fragments import classify_fragments
-from .hypertree import hypertree_width
-from .operators import TABLE3_ROWS, classify_operators
-from .property_paths import classify_path
-from .shapes import SHAPE_ORDER, classify_shape
-from .treewidth import treewidth
+from .context import DEFAULT_OPTIONS, AnalysisOptions, StructureCache
+from .features import KEYWORD_ORDER
+from .operators import TABLE3_ROWS
+from .passes import NON_CTRACT_LIMIT, PassProfile, resolve_passes, run_passes
+from .shapes import SHAPE_ORDER
 
 __all__ = ["DatasetStats", "CorpusStudy", "measure_query", "study_corpus"]
 
-#: Shape analysis is skipped for pathological graphs above this size —
-#: the classifier is polynomial but flower detection tries every core.
-_SHAPE_NODE_LIMIT = 400
-
-#: Cap on the number of non-Ctract path expressions kept for Table 5.
-_NON_CTRACT_LIMIT = 100
+#: Back-compat aliases; the limits live with the passes now
+#: (:mod:`repro.analysis.passes`, :mod:`repro.analysis.context`).
+_SHAPE_NODE_LIMIT = DEFAULT_OPTIONS.shape_node_limit
+_NON_CTRACT_LIMIT = NON_CTRACT_LIMIT
 
 
 def _merge_counters(dst: MutableMapping, src: Mapping) -> None:
@@ -188,6 +182,16 @@ class CorpusStudy:
     path_type_k: Dict[str, List[int]] = field(default_factory=dict)
     non_ctract: List[str] = field(default_factory=list)
 
+    # Coverage accounting: data the analysis limits would otherwise
+    # drop silently (surfaced by ``render_study`` when nonzero).
+    shape_limit_skipped: int = 0  # queries over the shape-node limit
+    non_ctract_truncated: int = 0  # Table 5 outliers beyond the cap
+
+    #: Per-pass timing / cache statistics of a profiled run
+    #: (``AnalysisOptions.profile``); ``None`` otherwise.  Wall times
+    #: are noise, so the profile never participates in equality.
+    pass_profile: Optional[PassProfile] = field(default=None, compare=False)
+
     # ------------------------------------------------------------------
     # Merge semantics
     # ------------------------------------------------------------------
@@ -202,6 +206,7 @@ class CorpusStudy:
             "treewidth_counts",
             "path_type_k",
             "non_ctract",
+            "pass_profile",
         }
     )
 
@@ -229,9 +234,20 @@ class CorpusStudy:
             )
         for path_type, ks in other.path_type_k.items():
             self.path_type_k.setdefault(path_type, []).extend(ks)
-        remaining = _NON_CTRACT_LIMIT - len(self.non_ctract)
+        # The merged sample keeps the cap; overflow dropped *here* joins
+        # the truncation counter (whose per-shard values were already
+        # added by _merge_fields), so serial and sharded runs agree on
+        # kept + truncated = total.
+        remaining = max(0, NON_CTRACT_LIMIT - len(self.non_ctract))
         if remaining > 0:
             self.non_ctract.extend(other.non_ctract[:remaining])
+        dropped = len(other.non_ctract) - remaining
+        if dropped > 0:
+            self.non_ctract_truncated += dropped
+        if other.pass_profile is not None:
+            if self.pass_profile is None:
+                self.pass_profile = PassProfile()
+            self.pass_profile.merge(other.pass_profile)
         return self
 
     # ------------------------------------------------------------------
@@ -322,6 +338,8 @@ def measure_query(
     dataset: str = "corpus",
     weight: int = 1,
     dedup: bool = True,
+    options: AnalysisOptions = DEFAULT_OPTIONS,
+    cache: Optional[StructureCache] = None,
 ) -> CorpusStudy:
     """Measure a single query: the pure unit of work of the study.
 
@@ -334,11 +352,24 @@ def measure_query(
     (total/valid/unique) come from the :class:`QueryLog`, not from
     measurement, and for the Valid corpus (``dedup=False``) pass
     ``weight=parsed.count`` to keep multiplicities.
+
+    An optional shared *cache* (:class:`StructureCache`) lets repeated
+    shapes reuse their structure results; it is transparent, so results
+    are identical with or without one — but all calls sharing a cache
+    must use the same *options*.
     """
     study = CorpusStudy(dedup=dedup)
     stats = DatasetStats(name=dataset)
     study.datasets[dataset] = stats
-    _analyze_query(study, stats, parsed, weight)
+    run_passes(
+        study,
+        stats,
+        parsed,
+        weight,
+        passes=resolve_passes(options.metrics),
+        options=options,
+        cache=cache,
+    )
     return study
 
 
@@ -348,6 +379,7 @@ def study_corpus(
     *,
     workers: int = 1,
     chunk_size: Optional[int] = None,
+    options: Optional[AnalysisOptions] = None,
 ) -> CorpusStudy:
     """Run the full analysis over processed logs.
 
@@ -356,13 +388,22 @@ def study_corpus(
     in-flight chunks, and the partial studies merged in stream order
     (see :mod:`repro.analysis.parallel`); the result is identical to
     the serial pass.
+
+    *options* selects passes (``metrics``), configures the shape-node
+    limit and structural cache, and enables per-pass profiling (the
+    profile lands on ``CorpusStudy.pass_profile``).
     """
+    if options is None:
+        options = DEFAULT_OPTIONS
     if workers != 1:
         from .parallel import study_corpus_parallel
 
         return study_corpus_parallel(
-            logs, dedup=dedup, workers=workers, chunk_size=chunk_size
+            logs, dedup=dedup, workers=workers, chunk_size=chunk_size, options=options
         )
+    passes = resolve_passes(options.metrics)
+    cache = StructureCache(options.cache_size)
+    profile = PassProfile() if options.profile else None
     study = CorpusStudy(dedup=dedup)
     for name, log in logs.items():
         stats = DatasetStats(
@@ -371,144 +412,26 @@ def study_corpus(
         study.datasets[name] = stats
         for parsed in log.unique_queries():
             weight = 1 if dedup else parsed.count
-            _analyze_query(study, stats, parsed, weight)
+            run_passes(
+                study,
+                stats,
+                parsed,
+                weight,
+                passes=passes,
+                options=options,
+                cache=cache,
+                profile=profile,
+            )
+    if profile is not None:
+        profile.cache_hits = cache.hits
+        profile.cache_misses = cache.misses
+        study.pass_profile = profile
     return study
-
-
-# ---------------------------------------------------------------------------
-# Per-query analysis
-# ---------------------------------------------------------------------------
 
 
 def _analyze_query(
     study: CorpusStudy, stats: DatasetStats, parsed: ParsedQuery, weight: int
 ) -> None:
-    query = parsed.query
-    # Wikidata queries get their SERVICE wrapper stripped (§4.3 fn 13).
-    if stats.name.lower().startswith("wikidata"):
-        query = walk.strip_services(query)
-    features = extract_features(query)
-
-    study.query_count += weight
-    stats.queries += weight
-    stats.triple_sum += features.triple_count * weight
-    for keyword in features.keywords:
-        study.keyword_counts[keyword] += weight
-        stats.keyword_counts[keyword] += weight
-    if not features.has_body:
-        study.no_body_count += weight
-    if features.uses_subquery:
-        study.subquery_count += weight
-    if features.uses_projection is True:
-        study.projection_true += weight
-        if query.query_type is ast.QueryType.ASK:
-            study.ask_projection += weight
-    elif features.uses_projection is None:
-        study.projection_indeterminate += weight
-
-    _analyze_paths(study, parsed.query, weight)
-
-    if not features.is_select_or_ask():
-        return
-    study.select_ask_count += weight
-    stats.select_ask += weight
-    stats.triple_hist[features.triple_count] += weight
-
-    classification = classify_operators(query)
-    if classification.pure:
-        if classification.letters in TABLE3_ROWS:
-            study.operator_sets[classification.letters] += weight
-        else:
-            study.operator_other_combination += weight
-            study.operator_sets[classification.letters] += weight
-    else:
-        study.operator_other_features += weight
-
-    fragments = classify_fragments(query)
-    if not fragments.is_aof:
-        return
-    study.aof_count += weight
-    if fragments.is_well_designed:
-        study.well_designed_count += weight
-        if (
-            fragments.has_simple_filters
-            and fragments.interface_width is not None
-            and fragments.interface_width > 1
-        ):
-            study.wide_interface_count += weight
-    if fragments.is_cq:
-        study.cq_count += weight
-    if fragments.is_cqf:
-        study.cqf_count += weight
-    if fragments.is_cqof:
-        study.cqof_count += weight
-
-    triples = features.triple_count
-    if triples >= 1:
-        if fragments.is_cq:
-            study.cq_sizes[triples] += weight
-        if fragments.is_cqf:
-            study.cqf_sizes[triples] += weight
-        if fragments.is_cqof:
-            study.cqof_sizes[triples] += weight
-
-    _analyze_structure(study, query, fragments, weight)
-
-
-def _analyze_structure(study, query, fragments, weight: int) -> None:
-    pattern = query.pattern
-    if has_predicate_variable(pattern):
-        if fragments.is_cqof:
-            study.predicate_variable_cqof += weight
-            hypergraph = canonical_hypergraph(pattern)
-            result = hypertree_width(hypergraph)
-            study.hypertree_widths[result.width] += weight
-            study.decomposition_nodes[result.node_count] += weight
-        return
-    if not (fragments.is_cq or fragments.is_cqf or fragments.is_cqof):
-        return
-    graph = canonical_graph(pattern)
-    if graph.node_count() > _SHAPE_NODE_LIMIT:
-        return
-    profile = classify_shape(graph)
-    width = treewidth(graph)
-    memberships = profile.as_dict()
-    for fragment, member in (
-        ("CQ", fragments.is_cq),
-        ("CQF", fragments.is_cqf),
-        ("CQOF", fragments.is_cqof),
-    ):
-        if not member:
-            continue
-        study.shape_totals[fragment] += weight
-        for shape, holds in memberships.items():
-            if holds:
-                study.shape_counts[fragment][shape] += weight
-        study.treewidth_counts[fragment][width.width] += weight
-    if fragments.is_cq and profile.single_edge:
-        study.single_edge_cq += weight
-        constants_only = canonical_graph(pattern, include_constants=False)
-        if constants_only.node_count() < graph.node_count():
-            study.single_edge_cq_with_constants += weight
-    if profile.shortest_cycle is not None and fragments.is_cqof:
-        study.girth_hist[profile.shortest_cycle] += weight
-
-
-def _analyze_paths(study, query, weight: int) -> None:
-    pattern = query.pattern
-    for node in walk.iter_path_patterns(pattern):
-        study.property_path_total += weight
-        classification = classify_path(node.path)
-        if not classification.navigational:
-            if classification.simple_form:
-                study.simple_path_forms[classification.simple_form] += weight
-            continue
-        study.path_types[classification.expression_type] += weight
-        if classification.k is not None:
-            study.path_type_k.setdefault(
-                classification.expression_type, []
-            ).append(classification.k)
-        if not classification.ctract and len(study.non_ctract) < _NON_CTRACT_LIMIT:
-            from ..sparql.serializer import serialize_path
-
-            study.non_ctract.append(serialize_path(node.path))
+    """Back-compat shim for the pre-refactor monolith: the default pass
+    pipeline with no cross-query cache."""
+    run_passes(study, stats, parsed, weight)

@@ -24,7 +24,9 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .analysis import find_streaks, streak_length_histogram
+from .analysis.context import DEFAULT_SHAPE_NODE_LIMIT, AnalysisOptions
 from .analysis.parallel import build_query_logs_parallel
+from .analysis.passes import PASS_NAMES, resolve_passes
 from .analysis.study import study_corpus
 from .engine import IndexedEngine, NestedLoopEngine
 from .logs import (
@@ -35,7 +37,12 @@ from .logs import (
     iter_entries,
     read_entries,
 )
-from .reporting import render_figure3, render_study, render_table6
+from .reporting import (
+    render_figure3,
+    render_pass_profile,
+    render_study,
+    render_table6,
+)
 from .workload import (
     bib_schema,
     generate_corpus,
@@ -59,6 +66,29 @@ def read_query_file(path: Path) -> List[str]:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    metrics = None
+    if args.metrics is not None:
+        metrics = tuple(
+            name.strip() for name in args.metrics.split(",") if name.strip()
+        )
+        if not metrics:
+            print(
+                f"analyze: --metrics selects no passes; "
+                f"available: {', '.join(PASS_NAMES)}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            # Validation lives in one place: the registry resolver.
+            resolve_passes(metrics)
+        except ValueError as error:
+            print(f"analyze: {error}", file=sys.stderr)
+            return 2
+    options = AnalysisOptions(
+        metrics=metrics,
+        shape_node_limit=args.shape_node_limit,
+        profile=args.profile_passes,
+    )
     paths = [Path(file_name) for file_name in args.files]
     seen: dict = {}
     for path in paths:
@@ -97,8 +127,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         dedup=not args.keep_duplicates,
         workers=args.workers,
         chunk_size=args.chunk_size,
+        options=options,
     )
     print(render_study(study, logs))
+    if args.profile_passes and study.pass_profile is not None:
+        print()
+        print(render_pass_profile(study.pass_profile))
     return 0
 
 
@@ -208,6 +242,29 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="entries per shard (default: ~4 chunks per worker, or "
         "1024 when streaming)",
+    )
+    analyze.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PASS[,PASS...]",
+        help="comma-separated analyzer passes to run "
+        f"(default: all of {', '.join(PASS_NAMES)}); tables owned by "
+        "unselected passes render with zero counts",
+    )
+    analyze.add_argument(
+        "--shape-node-limit",
+        type=_positive_int,
+        default=DEFAULT_SHAPE_NODE_LIMIT,
+        metavar="N",
+        help="skip shape/treewidth analysis for canonical graphs with "
+        f"more than N nodes (default {DEFAULT_SHAPE_NODE_LIMIT}; skipped "
+        "queries are counted and reported)",
+    )
+    analyze.add_argument(
+        "--profile-passes",
+        action="store_true",
+        help="print per-pass wall time and structural-cache hit rate "
+        "after the report",
     )
     analyze.set_defaults(func=_cmd_analyze)
 

@@ -8,16 +8,16 @@ from .engines import (
     WorkloadRunResult,
 )
 from .evaluator import PatternEvaluator, Solution, evaluate_bgp_order
+from .expressions import (
+    ExpressionError,
+    effective_boolean_value,
+    evaluate_expression,
+)
 from .results import (
     boolean_to_json,
     results_from_json,
     results_to_csv,
     results_to_json,
-)
-from .expressions import (
-    ExpressionError,
-    effective_boolean_value,
-    evaluate_expression,
 )
 
 __all__ = [

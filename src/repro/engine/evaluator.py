@@ -22,7 +22,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tupl
 
 from ..exceptions import EvaluationError, EvaluationTimeout
 from ..rdf.graph import Graph
-from ..rdf.terms import BlankNode, IRI, Literal, Term, Variable
+from ..rdf.terms import IRI, BlankNode, Literal, Term, Variable
 from ..sparql import ast
 from .expressions import (
     ExpressionError,

@@ -18,14 +18,14 @@ from typing import Callable, Dict, Mapping, Optional, Union
 
 from ..rdf.terms import (
     IRI,
-    BlankNode,
-    Literal,
-    Term,
-    Variable,
     XSD_BOOLEAN,
     XSD_DOUBLE,
     XSD_INTEGER,
     XSD_STRING,
+    BlankNode,
+    Literal,
+    Term,
+    Variable,
 )
 from ..sparql import ast
 

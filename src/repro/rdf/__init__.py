@@ -1,21 +1,21 @@
 """RDF data model: terms, triples, graphs, namespaces, N-Triples IO."""
 
+from . import ntriples, turtle
 from .graph import Graph
-from .namespaces import Namespace, NamespaceManager, WELL_KNOWN_PREFIXES
+from .namespaces import WELL_KNOWN_PREFIXES, Namespace, NamespaceManager
 from .terms import (
     IRI,
-    BlankNode,
-    Literal,
-    Term,
-    Triple,
-    Variable,
     XSD_BOOLEAN,
     XSD_DECIMAL,
     XSD_DOUBLE,
     XSD_INTEGER,
     XSD_STRING,
+    BlankNode,
+    Literal,
+    Term,
+    Triple,
+    Variable,
 )
-from . import ntriples, turtle
 
 __all__ = [
     "Graph",

@@ -32,11 +32,16 @@ class Graph:
     """
 
     def __init__(self, triples: Optional[Iterable[Triple]] = None) -> None:
-        self._triples: Set[Triple] = set()
-        # index[level1][level2] -> set of level3 values
-        self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(dict)
-        self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(dict)
-        self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(dict)
+        # Insertion-ordered containers (dicts with None values) instead
+        # of sets: iteration order — and therefore the time an ASK-style
+        # early-exit evaluation takes to reach its first match — is a
+        # function of construction order, not of per-process string-hash
+        # randomization.  Deterministic inputs stay deterministic.
+        self._triples: Dict[Triple, None] = {}
+        # index[level1][level2] -> ordered set of level3 values
+        self._spo: Dict[Term, Dict[Term, Dict[Term, None]]] = defaultdict(dict)
+        self._pos: Dict[Term, Dict[Term, Dict[Term, None]]] = defaultdict(dict)
+        self._osp: Dict[Term, Dict[Term, Dict[Term, None]]] = defaultdict(dict)
         self._predicate_counts: Dict[Term, int] = defaultdict(int)
         if triples is not None:
             for triple in triples:
@@ -49,11 +54,11 @@ class Graph:
         """Add *triple*; return True if it was not already present."""
         if triple in self._triples:
             return False
-        self._triples.add(triple)
+        self._triples[triple] = None
         s, p, o = triple
-        self._spo[s].setdefault(p, set()).add(o)
-        self._pos[p].setdefault(o, set()).add(s)
-        self._osp[o].setdefault(s, set()).add(p)
+        self._spo[s].setdefault(p, {})[o] = None
+        self._pos[p].setdefault(o, {})[s] = None
+        self._osp[o].setdefault(s, {})[p] = None
         self._predicate_counts[p] += 1
         return True
 
@@ -64,7 +69,7 @@ class Graph:
         """Remove *triple*; return True if it was present."""
         if triple not in self._triples:
             return False
-        self._triples.discard(triple)
+        self._triples.pop(triple, None)
         s, p, o = triple
         self._discard(self._spo, s, p, o)
         self._discard(self._pos, p, o, s)
@@ -76,7 +81,7 @@ class Graph:
 
     @staticmethod
     def _discard(
-        index: Dict[Term, Dict[Term, Set[Term]]], a: Term, b: Term, c: Term
+        index: Dict[Term, Dict[Term, Dict[Term, None]]], a: Term, b: Term, c: Term
     ) -> None:
         second = index.get(a)
         if second is None:
@@ -84,7 +89,7 @@ class Graph:
         third = second.get(b)
         if third is None:
             return
-        third.discard(c)
+        third.pop(c, None)
         if not third:
             del second[b]
         if not second:

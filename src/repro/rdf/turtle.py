@@ -21,14 +21,14 @@ from .graph import Graph
 from .namespaces import NamespaceManager
 from .terms import (
     IRI,
-    BlankNode,
-    Literal,
-    Term,
-    Triple,
     XSD_BOOLEAN,
     XSD_DECIMAL,
     XSD_DOUBLE,
     XSD_INTEGER,
+    BlankNode,
+    Literal,
+    Term,
+    Triple,
 )
 
 __all__ = ["TurtleError", "loads", "load", "dumps", "dump"]

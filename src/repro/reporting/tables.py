@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..analysis.passes import PassProfile
 from ..analysis.study import CorpusStudy
 from ..logs.pipeline import QueryLog
 
@@ -28,6 +29,8 @@ __all__ = [
     "render_table6",
     "render_hypertree",
     "render_figure3",
+    "render_coverage_caveats",
+    "render_pass_profile",
 ]
 
 
@@ -81,6 +84,9 @@ def render_study(
             render_table5(study),
         ]
     )
+    caveats = render_coverage_caveats(study)
+    if caveats is not None:
+        blocks.append(caveats)
     return "\n\n".join(blocks)
 
 
@@ -387,6 +393,62 @@ def render_dataset_highlights(study: CorpusStudy) -> str:
         "Per-dataset keyword usage (paper sec 4.1 observations)",
         headers,
         rows,
+    )
+
+
+def render_coverage_caveats(study: CorpusStudy) -> Optional[str]:
+    """Data dropped by analysis limits, or ``None`` when nothing was.
+
+    Rendered (by :func:`render_study`) only when a limit actually bit,
+    so reports over well-behaved corpora — including the pinned golden
+    reports — are unchanged, while runs that silently used to lose data
+    now say so.
+    """
+    if not (study.shape_limit_skipped or study.non_ctract_truncated):
+        return None
+    rows = [
+        (
+            "queries over the shape-node limit (structure pass skipped)",
+            f"{study.shape_limit_skipped:,}",
+        ),
+        (
+            "non-Ctract path expressions beyond the sample cap",
+            f"{study.non_ctract_truncated:,}",
+        ),
+    ]
+    return render_table(
+        "Coverage caveats: data dropped by analysis limits",
+        ("Limit", "Dropped"),
+        rows,
+    )
+
+
+def render_pass_profile(profile: PassProfile) -> str:
+    """Per-pass wall time and structural-cache statistics
+    (``repro analyze --profile-passes``)."""
+    total = profile.total_seconds or 1.0
+    rows = [
+        (name, f"{elapsed:.3f}s", f"{100.0 * elapsed / total:.1f}%")
+        for name, elapsed in sorted(
+            profile.seconds.items(), key=lambda item: item[1], reverse=True
+        )
+    ]
+    rows.append(("total", f"{profile.total_seconds:.3f}s", "100.0%"))
+    lookups = profile.cache_hits + profile.cache_misses
+    summary = [
+        f"queries measured: {profile.queries:,}",
+        f"structural-cache lookups: {lookups:,} "
+        f"(hits {profile.cache_hits:,}, misses {profile.cache_misses:,}, "
+        f"hit rate {100.0 * profile.cache_hit_rate:.1f}%)",
+    ]
+    return (
+        render_table(
+            "Analyzer passes: wall time per pass",
+            ("Pass", "Wall time", "Share"),
+            rows,
+        )
+        + "\n"
+        + "\n".join(summary)
     )
 
 

@@ -20,14 +20,14 @@ from ..exceptions import SparqlSyntaxError
 from ..rdf.namespaces import NamespaceManager
 from ..rdf.terms import (
     IRI,
-    BlankNode,
-    Literal,
-    Term,
-    Variable,
     XSD_BOOLEAN,
     XSD_DECIMAL,
     XSD_DOUBLE,
     XSD_INTEGER,
+    BlankNode,
+    Literal,
+    Term,
+    Variable,
 )
 from . import ast
 from .tokenizer import Token, TokenType, tokenize

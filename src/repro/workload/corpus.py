@@ -22,6 +22,7 @@ same code paths it would on the real logs.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -620,6 +621,17 @@ class _QueryBuilder:
 # ---------------------------------------------------------------------------
 
 
+def _stable_seed(seed: int, label: str) -> int:
+    """Derive a per-dataset RNG seed that is stable across processes.
+
+    ``hash()`` of a string is randomized per interpreter (PYTHONHASHSEED),
+    so seeding from a tuple hash would generate a *different corpus on
+    every run* — a flaky foundation for the calibrated benchmarks.
+    CRC32 is deterministic everywhere.
+    """
+    return seed * 0x1000193 ^ zlib.crc32(label.encode("utf-8"))
+
+
 def _invalid_entry(rng: random.Random, vocabulary: _Vocabulary) -> str:
     """A log entry that is not a parseable query (the Total−Valid gap)."""
     kind = rng.random()
@@ -643,7 +655,7 @@ def generate_dataset(
     valid/unique ratio, then invalid entries are mixed in to hit the
     total/valid ratio.
     """
-    rng = random.Random((seed, profile.name).__hash__())
+    rng = random.Random(_stable_seed(seed, profile.name))
     vocabulary = _Vocabulary(profile.namespace, rng)
     builder = _QueryBuilder(profile, vocabulary, rng)
 
@@ -710,7 +722,7 @@ def generate_day_log(
     """
     if profile is None:
         profile = DATASET_PROFILES["DBpedia15"]
-    rng = random.Random((seed, "daylog").__hash__())
+    rng = random.Random(_stable_seed(seed, "daylog"))
     vocabulary = _Vocabulary(profile.namespace, rng)
     builder = _QueryBuilder(profile, vocabulary, rng)
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.rdf import Graph, IRI, Literal, Triple
+from repro.rdf import IRI, Graph, Literal, Triple
 from repro.workload import bib_schema, generate_graph
 
 

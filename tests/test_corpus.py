@@ -8,8 +8,8 @@ from repro.workload import (
     DATASET_ORDER,
     DATASET_PROFILES,
     generate_corpus,
-    generate_day_log,
     generate_dataset,
+    generate_day_log,
 )
 
 

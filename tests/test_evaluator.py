@@ -4,7 +4,7 @@ import pytest
 
 from repro.engine import IndexedEngine, NestedLoopEngine
 from repro.exceptions import EvaluationError
-from repro.rdf import Graph, IRI, Literal, Triple, Variable
+from repro.rdf import IRI, Graph, Literal, Triple, Variable
 from repro.sparql import parse_query
 
 

@@ -3,6 +3,7 @@ or absorb exactly the failures its contract says it absorbs."""
 
 import pytest
 
+from repro.engine import IndexedEngine
 from repro.exceptions import (
     EvaluationError,
     ReproError,
@@ -10,8 +11,7 @@ from repro.exceptions import (
     WorkloadError,
 )
 from repro.logs import build_query_log
-from repro.rdf import Graph, IRI, Literal, Triple, Variable
-from repro.engine import IndexedEngine
+from repro.rdf import IRI, Graph, Literal, Triple, Variable
 from repro.sparql import parse_query
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import IRI, Namespace, NamespaceManager, WELL_KNOWN_PREFIXES
+from repro.rdf import IRI, WELL_KNOWN_PREFIXES, Namespace, NamespaceManager
 
 
 class TestNamespace:

@@ -1,7 +1,7 @@
 """Unit tests for Table 3 operator-set classification."""
 
 from repro.analysis import classify_operators
-from repro.analysis.operators import Operator, TABLE3_ROWS
+from repro.analysis.operators import TABLE3_ROWS, Operator
 from repro.sparql import parse_query
 
 

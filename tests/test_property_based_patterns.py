@@ -11,7 +11,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.analysis import classify_fragments, classify_operators, extract_features
 from repro.engine import IndexedEngine, NestedLoopEngine
-from repro.rdf import Graph, IRI, Literal, Triple, Variable
+from repro.rdf import IRI, Graph, Literal, Triple, Variable
 from repro.sparql import ast, parse_query, serialize_query
 
 _names = st.sampled_from(["a", "b", "c", "x", "y", "z", "s", "o"])

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import Graph, IRI, Literal, Triple
+from repro.rdf import IRI, Graph, Literal, Triple
 
 S = IRI("urn:s")
 P = IRI("urn:p")

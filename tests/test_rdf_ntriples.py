@@ -4,7 +4,7 @@ import io
 
 import pytest
 
-from repro.rdf import Graph, IRI, BlankNode, Literal, Triple, ntriples
+from repro.rdf import IRI, BlankNode, Graph, Literal, Triple, ntriples
 from repro.rdf.ntriples import NTriplesError
 
 

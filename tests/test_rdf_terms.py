@@ -4,14 +4,14 @@ import pytest
 
 from repro.rdf import (
     IRI,
-    BlankNode,
-    Literal,
-    Triple,
-    Variable,
     XSD_BOOLEAN,
     XSD_DECIMAL,
     XSD_DOUBLE,
     XSD_INTEGER,
+    BlankNode,
+    Literal,
+    Triple,
+    Variable,
 )
 from repro.rdf.terms import RDF_LANGSTRING, XSD_STRING
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import Graph, IRI, BlankNode, Literal, NamespaceManager, Triple
+from repro.rdf import IRI, BlankNode, Graph, Literal, NamespaceManager, Triple
 from repro.rdf import turtle
 from repro.rdf.turtle import TurtleError
 
