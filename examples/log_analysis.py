@@ -1,33 +1,26 @@
 #!/usr/bin/env python3
-"""End-to-end log analysis: the paper's full study on a mini corpus.
+"""End-to-end log analysis through the stable ``repro.api`` facade.
 
 Generates a scaled-down synthetic corpus calibrated to the paper's 13
-query logs, pushes it through the clean → parse → dedup pipeline (§2),
-runs every analysis, and prints the paper-style tables: Table 1
-(corpus sizes), Table 2 (keywords), Figure 1 (triple counts), Table 3
-(operator sets), §4.4 (projection), §5.2 (fragments), Table 4 (shapes),
-Table 5 (property paths).
+query logs, runs the full study (ingestion → analyzer passes →
+`CorpusStudy`) in one `analyze_corpora` call, prints the paper-style
+report, and demonstrates the snapshot round trip: the study is saved
+as versioned JSON, reloaded, and re-rendered byte-identically —
+exactly what `repro analyze --save-study` / `repro merge` /
+`repro report` do across machines.
 
 Run: ``python examples/log_analysis.py [scale]``
 (default scale 1e-5 ≈ 1,800 queries; try 1e-4 for a 10x larger corpus)
 """
 
 import sys
+import tempfile
 import time
+from pathlib import Path
 
-from repro import build_query_log, generate_corpus, study_corpus
-from repro.reporting import (
-    render_figure1,
-    render_figure5,
-    render_fragments,
-    render_hypertree,
-    render_projection,
-    render_table1,
-    render_table2,
-    render_table3,
-    render_table4,
-    render_table5,
-)
+from repro import generate_corpus
+from repro.api import analyze_corpora, load_study
+from repro.reporting import render_report
 
 
 def main() -> None:
@@ -39,31 +32,28 @@ def main() -> None:
     total_entries = sum(len(entries) for entries in corpus.values())
     print(f"  {total_entries:,} raw log entries across {len(corpus)} datasets")
 
-    print("Running the clean/parse/dedup pipeline (paper §2)…")
-    logs = {
-        name: build_query_log(name, entries) for name, entries in corpus.items()
-    }
+    print("Running pipeline + all analyses on the Unique corpus…\n")
+    result = analyze_corpora(corpus, dedup=True)
 
-    print("Running all analyses on the Unique corpus…\n")
-    study = study_corpus(logs, dedup=True)
+    # The text report: Table 1 through Table 5, byte-identical to
+    # `repro analyze`.  Try "markdown", "csv", "json", or "jsonl" too.
+    print(result.render("text"))
+    print()
 
-    for block in (
-        render_table1(logs),
-        render_table2(study),
-        render_figure1(study),
-        render_table3(study),
-        render_projection(study),
-        render_fragments(study),
-        render_figure5(study),
-        render_table4(study),
-        render_hypertree(study),
-        render_table5(study),
-    ):
-        print(block)
-        print()
+    if not result.caveats.clean:
+        print(f"coverage caveats: {result.caveats}")
+
+    # Snapshot round trip: save → load → identical study, identical bytes.
+    with tempfile.TemporaryDirectory() as tmp:
+        snapshot = Path(tmp) / "study.json"
+        result.save(snapshot)
+        reloaded = load_study(snapshot)
+        assert reloaded == result.study
+        assert result.render("text") == render_report(reloaded, "text")
+        print(f"snapshot round trip OK ({snapshot.stat().st_size:,} bytes of JSON)")
 
     elapsed = time.monotonic() - started
-    print(f"Complete study of {study.query_count:,} unique queries "
+    print(f"Complete study of {result.study.query_count:,} unique queries "
           f"in {elapsed:.1f}s.")
 
 

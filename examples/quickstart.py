@@ -7,7 +7,8 @@ Walks through the library's layers in five minutes:
 2. inspect its shallow features (the paper's Table 2 measurements);
 3. classify its fragment (§5.2) and shape (§6);
 4. build a tiny RDF graph and evaluate queries on both engine profiles;
-5. measure tree- and hypertree width of cyclic queries.
+5. measure tree- and hypertree width of cyclic queries;
+6. run the whole study through the stable ``repro.api`` facade.
 
 Run: ``python examples/quickstart.py``
 """
@@ -28,6 +29,7 @@ from repro import (
     parse_query,
     treewidth,
 )
+from repro.api import analyze_corpora
 
 
 def main() -> None:
@@ -102,6 +104,21 @@ def main() -> None:
 
     triangle = "ASK { ?x <urn:knows> ?y . ?y <urn:knows> ?z . ?z <urn:knows> ?x }"
     print(f"triangle exists : {IndexedEngine(data).evaluate(triangle)}")
+
+    # ------------------------------------------------------------------
+    # 6. The full study through the facade: one call from raw query
+    #    texts to every measurement of the paper, renderable in any
+    #    registered format and serializable as a JSON snapshot.
+    # ------------------------------------------------------------------
+    result = analyze_corpora(
+        {"quickstart": [wikidata_query, select, triangle, "BROKEN {"]}
+    )
+    stats = result.study.datasets["quickstart"]
+    print(f"\nfacade study    : {stats.total} entries -> {stats.valid} valid "
+          f"-> {stats.unique} unique")
+    print(f"keywords counted: {sorted(result.study.keyword_counts)}")
+    print("(result.render('text'|'markdown'|'csv'|...) prints the full "
+          "report; result.save(path) writes a mergeable JSON snapshot)")
 
 
 if __name__ == "__main__":

@@ -15,7 +15,16 @@ The library has six layers:
   graph/hypergraph shapes, tree- and hypertree width, property-path
   taxonomy, and streak detection.
 
-Quickstart::
+The stable programmatic surface is :mod:`repro.api`::
+
+    from repro.api import analyze, load_study, merge_studies
+
+    result = analyze("endpoint.log", workers=4)   # the full study
+    print(result.render("markdown"))              # any registered format
+    result.save("study.json")                     # portable snapshot
+    merged = merge_studies([load_study("a.json"), load_study("b.json")])
+
+Lower-level quickstart::
 
     from repro import parse_query, classify_shape, canonical_graph
     query = parse_query("ASK WHERE { ?x <urn:p> ?y . ?y <urn:p> ?x }")
@@ -40,10 +49,23 @@ from .analysis.parallel import (
     build_query_logs_parallel,
     measure_chunk,
     merge_shards,
-    merge_studies,
     study_corpus_parallel,
 )
 from .analysis.study import CorpusStudy, DatasetStats, measure_query, study_corpus
+# The root exports the facade's merge_studies (dedup inferred from the
+# studies themselves); the parallel drivers' lower-level variant stays
+# importable from repro.analysis.parallel.
+from .api import (
+    AnalysisRequest,
+    AnalysisResult,
+    AnalysisSession,
+    CoverageCaveats,
+    analyze,
+    analyze_corpora,
+    load_study,
+    merge_studies,
+    save_study,
+)
 from .engine import IndexedEngine, NestedLoopEngine
 from .exceptions import (
     EvaluationError,
@@ -51,10 +73,18 @@ from .exceptions import (
     LogFormatError,
     ReproError,
     SparqlSyntaxError,
+    StudySnapshotError,
     WorkloadError,
 )
 from .logs import LogShard, ParseCache, QueryLog, build_query_log, process_entries
 from .rdf import IRI, BlankNode, Graph, Literal, Triple, Variable
+from .reporting import (
+    Reporter,
+    get_reporter,
+    register_reporter,
+    render_report,
+    reporter_names,
+)
 from .sparql import parse_query, serialize_query
 from .workload import (
     bib_schema,
@@ -64,9 +94,23 @@ from .workload import (
     generate_workload,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AnalysisRequest",
+    "AnalysisResult",
+    "AnalysisSession",
+    "CoverageCaveats",
+    "analyze",
+    "analyze_corpora",
+    "load_study",
+    "save_study",
+    "StudySnapshotError",
+    "Reporter",
+    "get_reporter",
+    "register_reporter",
+    "render_report",
+    "reporter_names",
     "canonical_graph",
     "canonical_hypergraph",
     "classify_fragments",

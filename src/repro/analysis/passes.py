@@ -88,7 +88,11 @@ class ShallowPass:
         study.query_count += weight
         stats.queries += weight
         stats.triple_sum += features.triple_count * weight
-        for keyword in features.keywords:
+        # Sorted: ``keywords`` is a frozenset, so raw iteration order is
+        # hash-seed dependent.  Tables render through KEYWORD_ORDER and
+        # never noticed, but counter insertion order is serialized by
+        # the JSON snapshots — it must not vary between processes.
+        for keyword in sorted(features.keywords):
             study.keyword_counts[keyword] += weight
             stats.keyword_counts[keyword] += weight
         if not features.has_body:
@@ -307,6 +311,20 @@ class PassProfile:
     def cache_hit_rate(self) -> float:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-native snapshot (see :mod:`.snapshot`)."""
+        from .snapshot import profile_to_dict
+
+        return profile_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: object) -> "PassProfile":
+        """Inverse of :meth:`to_dict`; raises
+        :class:`~repro.exceptions.StudySnapshotError` on malformed input."""
+        from .snapshot import profile_from_dict
+
+        return profile_from_dict(data)
 
 
 def run_passes(

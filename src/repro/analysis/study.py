@@ -22,9 +22,10 @@ Valid corpus).
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field, fields
-from typing import Dict, List, Mapping, MutableMapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, MutableMapping, Optional, Tuple
 
 from ..logs.pipeline import ParsedQuery, QueryLog
 from .context import DEFAULT_OPTIONS, AnalysisOptions, StructureCache
@@ -35,10 +36,31 @@ from .shapes import SHAPE_ORDER
 
 __all__ = ["DatasetStats", "CorpusStudy", "measure_query", "study_corpus"]
 
-#: Back-compat aliases; the limits live with the passes now
-#: (:mod:`repro.analysis.passes`, :mod:`repro.analysis.context`).
-_SHAPE_NODE_LIMIT = DEFAULT_OPTIONS.shape_node_limit
-_NON_CTRACT_LIMIT = NON_CTRACT_LIMIT
+#: Deprecated module aliases and their modern replacements; kept one
+#: release so external code migrating from the pre-pass monolith keeps
+#: importing, but loudly (see :func:`__getattr__`).
+_DEPRECATED_ALIASES = {
+    "_SHAPE_NODE_LIMIT": "repro.analysis.context.AnalysisOptions.shape_node_limit",
+    "_NON_CTRACT_LIMIT": "repro.analysis.passes.NON_CTRACT_LIMIT",
+}
+
+
+def __getattr__(name: str):
+    """Back-compat aliases with a :class:`DeprecationWarning`.
+
+    The limits moved out of the study monolith with the pass refactor
+    (:mod:`repro.analysis.passes`, :mod:`repro.analysis.context`)."""
+    if name in _DEPRECATED_ALIASES:
+        warnings.warn(
+            f"repro.analysis.study.{name} is deprecated; "
+            f"use {_DEPRECATED_ALIASES[name]} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if name == "_SHAPE_NODE_LIMIT":
+            return DEFAULT_OPTIONS.shape_node_limit
+        return NON_CTRACT_LIMIT
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _merge_counters(dst: MutableMapping, src: Mapping) -> None:
@@ -108,6 +130,20 @@ class DatasetStats:
     @property
     def average_triples(self) -> float:
         return self.triple_sum / self.queries if self.queries else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned JSON-native snapshot (see :mod:`.snapshot`)."""
+        from .snapshot import stats_to_dict
+
+        return stats_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DatasetStats":
+        """Inverse of :meth:`to_dict`; raises
+        :class:`~repro.exceptions.StudySnapshotError` on malformed input."""
+        from .snapshot import stats_from_dict
+
+        return stats_from_dict(data)
 
     def triple_hist_percentages(self) -> Dict[str, float]:
         """Figure 1 buckets: '0'..'10' and '11+' as % of S/A queries."""
@@ -249,6 +285,29 @@ class CorpusStudy:
                 self.pass_profile = PassProfile()
             self.pass_profile.merge(other.pass_profile)
         return self
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned, schema-checked JSON-native snapshot.
+
+        Zero counts and counter insertion order are preserved, so a
+        reloaded study renders byte-identical reports and merges
+        exactly like the in-memory original (see :mod:`.snapshot`)."""
+        from .snapshot import study_to_dict
+
+        return study_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CorpusStudy":
+        """Inverse of :meth:`to_dict`; raises
+        :class:`~repro.exceptions.StudySnapshotError` on malformed or
+        mis-versioned input."""
+        from .snapshot import study_from_dict
+
+        return study_from_dict(data)
 
     # ------------------------------------------------------------------
     def keyword_table(self) -> List[Tuple[str, int, float]]:

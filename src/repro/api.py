@@ -1,0 +1,323 @@
+"""Stable public API facade: sessions, requests, results, snapshots.
+
+Everything the CLI (and any downstream program) needs to run the
+paper's study lives behind three small types:
+
+* :class:`AnalysisRequest` — a frozen, typed description of *what* to
+  analyze: file inputs or in-memory corpora, the corpus flavour
+  (``dedup``), the pass selection and limits, and the execution knobs
+  (workers, chunk size, streaming ingestion).
+* :class:`AnalysisSession` — the orchestrator: resolves inputs, runs
+  ingestion (clean → parse → dedup) and the analyzer-pass study, and
+  wraps the outcome.  Stateless; one session can run many requests.
+* :class:`AnalysisResult` — the outcome: the
+  :class:`~repro.analysis.study.CorpusStudy`, the processed
+  :class:`~repro.logs.pipeline.QueryLog` objects (when ingestion ran
+  in-session), the optional :class:`~repro.analysis.passes.PassProfile`
+  and the :class:`CoverageCaveats`.  Results render through the
+  reporter registry (:meth:`AnalysisResult.render`) and serialize to
+  versioned JSON snapshots (:meth:`AnalysisResult.save` /
+  :func:`load_study`) that can be shipped between machines and merged.
+
+Quickstart::
+
+    from repro.api import analyze
+
+    result = analyze("endpoint.log", workers=4)
+    print(result.render("text"))          # the paper's tables
+    result.save("study.json")             # portable snapshot
+
+    from repro.api import load_study, merge_studies
+    merged = merge_studies([load_study("a.json"), load_study("b.json")])
+
+All invariants of the underlying drivers hold through the facade:
+serial ≡ sharded ≡ streamed byte-identity, and
+``merge(load(a), load(b)) ≡ merge(a, b)`` round-trips exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from .analysis.context import (
+    DEFAULT_SHAPE_NODE_LIMIT,
+    DEFAULT_STRUCTURE_CACHE_SIZE,
+    AnalysisOptions,
+)
+from .analysis.parallel import build_query_logs_parallel
+from .analysis.passes import PassProfile, resolve_passes
+from .analysis.snapshot import load_study, save_study
+from .analysis.study import CorpusStudy, study_corpus
+from .logs import ParseCache, QueryLog, build_query_log, dataset_name, iter_entries
+from .logs.sources import read_entries
+from .reporting.reporters import render_report
+
+__all__ = [
+    "AnalysisRequest",
+    "AnalysisResult",
+    "AnalysisSession",
+    "CoverageCaveats",
+    "analyze",
+    "analyze_corpora",
+    "load_study",
+    "merge_studies",
+    "save_study",
+]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """A typed, immutable description of one study run.
+
+    Exactly one of *inputs* (paths to query/log files, gzip files, or
+    log directories — dataset names derive from the file stems) or
+    *corpora* (a name → raw-query-texts mapping, values may be one-shot
+    iterators) must be provided.
+    """
+
+    #: Files/directories to ingest; dataset names come from the stems.
+    inputs: Tuple[PathLike, ...] = ()
+    #: In-memory corpora: dataset name → raw query texts.
+    corpora: Optional[Mapping[str, Iterable[str]]] = None
+    #: ``True`` → Unique corpus (paper main body); ``False`` → Valid
+    #: corpus, weighting every query by its multiplicity (appendix).
+    dedup: bool = True
+    #: Analyzer passes to run (``None`` = all); see ``repro.analysis.passes``.
+    metrics: Optional[Tuple[str, ...]] = None
+    #: Skip the structure pass above this canonical-graph node count.
+    shape_node_limit: int = DEFAULT_SHAPE_NODE_LIMIT
+    #: Capacity of the structural-signature cache (0 disables).
+    cache_size: int = DEFAULT_STRUCTURE_CACHE_SIZE
+    #: Collect per-pass wall times onto the result's profile.
+    profile: bool = False
+    #: Stream file inputs lazily (bounded-memory ingestion).
+    stream: bool = False
+    #: Worker processes for ingestion and measurement (1 = in-process).
+    workers: int = 1
+    #: Entries per shard; ``None`` picks a deterministic default.
+    chunk_size: Optional[int] = None
+    #: Extra PREFIX declarations assumed by the endpoint's parser.
+    extra_prefixes: Optional[Mapping[str, str]] = None
+
+    def options(self) -> AnalysisOptions:
+        """The per-query analysis options this request implies."""
+        return AnalysisOptions(
+            metrics=self.metrics,
+            shape_node_limit=self.shape_node_limit,
+            cache_size=self.cache_size,
+            profile=self.profile,
+        )
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on contradictions a run would hit later."""
+        if self.inputs and self.corpora is not None:
+            raise ValueError("provide either inputs or corpora, not both")
+        if not self.inputs and self.corpora is None:
+            raise ValueError("nothing to analyze: provide inputs or corpora")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.shape_node_limit < 1:
+            raise ValueError(
+                f"shape_node_limit must be >= 1, got {self.shape_node_limit}"
+            )
+        resolve_passes(self.metrics)  # unknown metric names raise here
+        if self.inputs:
+            seen: Dict[str, PathLike] = {}
+            for path in self.inputs:
+                name = dataset_name(Path(path))
+                if name in seen:
+                    raise ValueError(
+                        f"inputs {seen[name]} and {path} both map to dataset "
+                        f"name {name!r}; rename one"
+                    )
+                seen[name] = path
+
+
+@dataclass(frozen=True)
+class CoverageCaveats:
+    """Data the analysis limits dropped (and accounted for) in a run."""
+
+    #: Queries whose canonical graph exceeded the shape-node limit.
+    shape_limit_skipped: int = 0
+    #: Non-Ctract path expressions beyond the Table 5 sample cap.
+    non_ctract_truncated: int = 0
+
+    @classmethod
+    def from_study(cls, study: CorpusStudy) -> "CoverageCaveats":
+        return cls(
+            shape_limit_skipped=study.shape_limit_skipped,
+            non_ctract_truncated=study.non_ctract_truncated,
+        )
+
+    @property
+    def clean(self) -> bool:
+        """``True`` when no limit dropped anything."""
+        return not (self.shape_limit_skipped or self.non_ctract_truncated)
+
+
+@dataclass
+class AnalysisResult:
+    """The outcome of one study run (or a loaded/merged snapshot)."""
+
+    #: Every measurement of the paper, with per-dataset stats.
+    study: CorpusStudy
+    #: Processed logs when ingestion ran in-session; ``None`` for
+    #: results rebuilt from snapshots (Table 1 still renders — the
+    #: pipeline counters live on ``study.datasets``).
+    logs: Optional[Dict[str, QueryLog]] = None
+    #: The request that produced this result, when known.
+    request: Optional[AnalysisRequest] = None
+
+    @property
+    def profile(self) -> Optional[PassProfile]:
+        """Per-pass wall times and cache stats of a profiled run."""
+        return self.study.pass_profile
+
+    @property
+    def caveats(self) -> CoverageCaveats:
+        """What the analysis limits dropped (all zero on clean runs)."""
+        return CoverageCaveats.from_study(self.study)
+
+    def render(self, format: str = "text") -> str:
+        """Render through the reporter registry (`text`, `json`, …)."""
+        return render_report(self.study, format)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The study's versioned JSON-native snapshot."""
+        return self.study.to_dict()
+
+    def save(self, path: PathLike) -> None:
+        """Write the snapshot to *path* (reload via :func:`load_study`)."""
+        save_study(self.study, path)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "AnalysisResult":
+        """Rebuild a result from a saved snapshot (no logs attached)."""
+        return cls(study=load_study(path))
+
+    def merge(self, other: "AnalysisResult") -> "AnalysisResult":
+        """Fold *other* into this result (stream order, in place).
+
+        The logs survive only when the two sides cover disjoint
+        datasets; on overlap they are dropped (set to ``None``) rather
+        than letting one side's :class:`QueryLog` silently shadow the
+        other while the study stats sum — Table 1 still renders from
+        the merged per-dataset stats either way."""
+        self.study.merge(other.study)
+        if (
+            self.logs is not None
+            and other.logs is not None
+            and not set(self.logs) & set(other.logs)
+        ):
+            self.logs.update(other.logs)
+        else:
+            self.logs = None
+        return self
+
+
+class AnalysisSession:
+    """Orchestrates ingestion → analyzer passes → study.
+
+    Stateless by design: every :meth:`run` resolves its request from
+    scratch, so one session can serve many requests (and many threads)
+    without leaking parse caches or prefix environments between runs.
+    """
+
+    def run(self, request: AnalysisRequest) -> AnalysisResult:
+        """Execute *request* end to end and wrap the outcome."""
+        request.validate()
+        logs = self.ingest(request)
+        study = self.measure(logs, request)
+        return AnalysisResult(study=study, logs=logs, request=request)
+
+    def ingest(self, request: AnalysisRequest) -> Dict[str, QueryLog]:
+        """Clean → parse → dedup the request's inputs into query logs."""
+        corpora = self._resolve_corpora(request)
+        prefixes = dict(request.extra_prefixes) if request.extra_prefixes else None
+        if request.stream or request.workers != 1:
+            # One pool over all datasets: small logs share the worker
+            # start-up; lazy sources keep peak memory O(workers × chunk).
+            return build_query_logs_parallel(
+                corpora,
+                prefixes,
+                workers=request.workers,
+                chunk_size=request.chunk_size,
+            )
+        # Serial path: one parse cache across all datasets, so texts
+        # recurring across endpoint logs are parsed once.
+        cache = ParseCache()
+        return {
+            name: build_query_log(name, texts, prefixes, cache=cache)
+            for name, texts in corpora.items()
+        }
+
+    def measure(
+        self, logs: Mapping[str, QueryLog], request: AnalysisRequest
+    ) -> CorpusStudy:
+        """Run the analyzer-pass study over already-processed logs."""
+        return study_corpus(
+            logs,
+            dedup=request.dedup,
+            workers=request.workers,
+            chunk_size=request.chunk_size,
+            options=request.options(),
+        )
+
+    def _resolve_corpora(
+        self, request: AnalysisRequest
+    ) -> Mapping[str, Iterable[str]]:
+        if request.corpora is not None:
+            return request.corpora
+        paths = [Path(path) for path in request.inputs]
+        if request.stream:
+            return {dataset_name(path): iter_entries(path) for path in paths}
+        return {dataset_name(path): read_entries(path) for path in paths}
+
+
+def analyze(*inputs: PathLike, **kwargs: object) -> AnalysisResult:
+    """One-call facade over files: ``analyze("a.log", workers=4)``.
+
+    Keyword arguments are :class:`AnalysisRequest` fields."""
+    request = AnalysisRequest(inputs=tuple(inputs), **kwargs)  # type: ignore[arg-type]
+    return AnalysisSession().run(request)
+
+
+def analyze_corpora(
+    corpora: Mapping[str, Iterable[str]], **kwargs: object
+) -> AnalysisResult:
+    """One-call facade over in-memory corpora (name → raw texts)."""
+    request = AnalysisRequest(corpora=corpora, **kwargs)  # type: ignore[arg-type]
+    return AnalysisSession().run(request)
+
+
+def merge_studies(
+    studies: Iterable[CorpusStudy], dedup: Optional[bool] = None
+) -> CorpusStudy:
+    """Merge studies (typically loaded snapshots) in the given order.
+
+    ``merge_studies([load_study(a), load_study(b)])`` renders the same
+    report bytes as merging the in-memory studies directly — snapshots
+    preserve counter insertion order, which report rendering depends
+    on.  All studies must share the same corpus flavour.
+
+    With the default ``dedup=None`` the flavour is inferred from the
+    first study (so at least one is required).  Passing ``dedup``
+    explicitly keeps the pre-1.1 root-level signature working: the
+    merge starts from an empty study of that flavour, and an empty
+    *studies* is allowed."""
+    merged = None if dedup is None else CorpusStudy(dedup=dedup)
+    for study in studies:
+        if merged is None:
+            merged = CorpusStudy(dedup=study.dedup)
+        merged.merge(study)
+    if merged is None:
+        raise ValueError(
+            "merge_studies: need at least one study (or an explicit dedup=)"
+        )
+    return merged

@@ -4,7 +4,12 @@ Commands:
 
 * ``analyze FILE [FILE...]`` — run the paper's full study over files of
   SPARQL queries (one query per line with ``\\n`` escapes, blank-line
-  separated blocks, or Apache access-log lines) and print the tables.
+  separated blocks, or Apache access-log lines) and report it in any
+  registered format (``--format``); ``--save-study`` checkpoints the
+  study as a portable JSON snapshot.
+* ``merge STUDY.json [STUDY.json...]`` — combine saved study snapshots
+  (e.g. from different machines or shards) into one.
+* ``report STUDY.json`` — render a saved snapshot in any format.
 * ``corpus --scale S --out DIR`` — generate the calibrated synthetic
   corpus, one ``.log`` file of access-log lines per dataset.
 * ``figure3 [--nodes N] [--timeout T]`` — run the chain/cycle engine
@@ -12,36 +17,32 @@ Commands:
 * ``streaks FILE|--synthetic N`` — detect streaks (Table 6) in an
   ordered query log.
 
-The CLI is a thin veneer over the public API; every command is covered
-by the test suite through :func:`main`.
+The CLI is a thin veneer over :mod:`repro.api`; every command is
+covered by the test suite through :func:`main`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .analysis import find_streaks, streak_length_histogram
-from .analysis.context import DEFAULT_SHAPE_NODE_LIMIT, AnalysisOptions
-from .analysis.parallel import build_query_logs_parallel
-from .analysis.passes import PASS_NAMES, resolve_passes
-from .analysis.study import study_corpus
+from .analysis.context import DEFAULT_SHAPE_NODE_LIMIT
+from .analysis.passes import PASS_NAMES
+from .api import AnalysisRequest, AnalysisSession, load_study, merge_studies, save_study
 from .engine import IndexedEngine, NestedLoopEngine
-from .logs import (
-    ParseCache,
-    build_query_log,
-    dataset_name,
-    encode_access_log_line,
-    iter_entries,
-    read_entries,
-)
+from .exceptions import StudySnapshotError
+from .logs import encode_access_log_line, read_entries
 from .reporting import (
+    get_reporter,
     render_figure3,
     render_pass_profile,
-    render_study,
+    render_report,
     render_table6,
+    reporter_names,
 )
 from .workload import (
     bib_schema,
@@ -55,14 +56,26 @@ __all__ = ["main", "read_query_file"]
 
 
 def read_query_file(path: Path) -> List[str]:
-    """Read queries from *path* (a file, gzip file, or log directory).
+    """Deprecated alias of :func:`repro.logs.read_entries`.
 
-    Delegates to :mod:`repro.logs.sources`: the format is auto-detected
-    (access-log lines, one query per line with literal ``\\n`` escapes,
-    or blank-line separated multi-line queries) and gzip input is
-    decompressed transparently.
+    Kept one release for callers of the pre-facade CLI module; new code
+    should use :func:`repro.logs.read_entries` (same behavior: format
+    auto-detection, gzip, log directories).
     """
+    warnings.warn(
+        "repro.cli.read_query_file is deprecated; "
+        "use repro.logs.read_entries instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return read_entries(path)
+
+
+def _emit(output: str) -> None:
+    """Write a rendered report to stdout with exactly one trailing newline."""
+    if not output.endswith("\n"):
+        output += "\n"
+    sys.stdout.write(output)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -78,61 +91,77 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        try:
-            # Validation lives in one place: the registry resolver.
-            resolve_passes(metrics)
-        except ValueError as error:
-            print(f"analyze: {error}", file=sys.stderr)
-            return 2
-    options = AnalysisOptions(
+    try:
+        get_reporter(args.format)
+    except ValueError as error:
+        print(f"analyze: {error}", file=sys.stderr)
+        return 2
+    request = AnalysisRequest(
+        inputs=tuple(args.files),
+        dedup=not args.keep_duplicates,
         metrics=metrics,
         shape_node_limit=args.shape_node_limit,
         profile=args.profile_passes,
-    )
-    paths = [Path(file_name) for file_name in args.files]
-    seen: dict = {}
-    for path in paths:
-        name = dataset_name(path)
-        if name in seen:
-            # A dict of corpora would silently drop the first file.
-            print(
-                f"analyze: inputs {seen[name]} and {path} both map to "
-                f"dataset name {name!r}; rename one",
-                file=sys.stderr,
-            )
-            return 2
-        seen[name] = path
-    # --stream: lazy ingestion, entries are chunked straight off disk
-    # with bounded in-flight chunks — peak memory is O(workers × chunk),
-    # not O(log size).  Identical output to the in-memory path.
-    corpora = {
-        dataset_name(path): iter_entries(path) if args.stream else read_query_file(path)
-        for path in paths
-    }
-    if args.stream or args.workers != 1:
-        # One pool over all files: small logs share the worker start-up.
-        logs = build_query_logs_parallel(
-            corpora, workers=args.workers, chunk_size=args.chunk_size
-        )
-    else:
-        # One parse cache across all files: duplicate-heavy logs (and
-        # texts recurring across endpoint logs) skip re-parsing.
-        cache = ParseCache()
-        logs = {
-            name: build_query_log(name, queries, cache=cache)
-            for name, queries in corpora.items()
-        }
-    study = study_corpus(
-        logs,
-        dedup=not args.keep_duplicates,
+        stream=args.stream,
         workers=args.workers,
         chunk_size=args.chunk_size,
-        options=options,
     )
-    print(render_study(study, logs))
-    if args.profile_passes and study.pass_profile is not None:
+    try:
+        result = AnalysisSession().run(request)
+    except (ValueError, OSError) as error:
+        # Bad options and unreadable inputs exit the same way: code 2
+        # with a one-line message, never a traceback.
+        print(f"analyze: {error}", file=sys.stderr)
+        return 2
+    if args.save_study:
+        try:
+            result.save(args.save_study)
+        except OSError as error:
+            print(f"analyze: cannot write study snapshot: {error}", file=sys.stderr)
+            return 2
+    _emit(result.render(args.format))
+    if args.profile_passes and result.profile is not None and args.format == "text":
         print()
-        print(render_pass_profile(study.pass_profile))
+        print(render_pass_profile(result.profile))
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    try:
+        merged = merge_studies(load_study(path) for path in args.studies)
+    except (StudySnapshotError, OSError, ValueError) as error:
+        print(f"merge: {error}", file=sys.stderr)
+        return 2
+    if args.out:
+        try:
+            save_study(merged, args.out)
+        except OSError as error:
+            print(f"merge: cannot write {args.out}: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"wrote merged study of {len(merged.datasets)} dataset(s) "
+            f"to {args.out}"
+        )
+    else:
+        # The registry's json reporter IS the snapshot format; going
+        # through it keeps `repro merge` stdout byte-identical to
+        # `repro report --format json` by construction.
+        _emit(render_report(merged, "json"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        reporter = get_reporter(args.format)
+    except ValueError as error:
+        print(f"report: {error}", file=sys.stderr)
+        return 2
+    try:
+        study = load_study(args.study)
+    except (StudySnapshotError, OSError) as error:
+        print(f"report: {error}", file=sys.stderr)
+        return 2
+    _emit(reporter.render(study))
     return 0
 
 
@@ -184,7 +213,7 @@ def _cmd_streaks(args: argparse.Namespace) -> int:
             print("streaks: provide FILE or --synthetic N", file=sys.stderr)
             return 2
         path = Path(args.file)
-        queries = read_query_file(path)
+        queries = read_entries(path)
         name = path.stem
     streaks = find_streaks(queries, window=args.window, threshold=args.threshold)
     histogram = streak_length_histogram(streaks)
@@ -202,10 +231,37 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _distribution_version() -> str:
+    """Installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
+
+
+def _add_format_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        default="text",
+        metavar="FMT",
+        help="report format: one of "
+        f"{', '.join(reporter_names())} (default: text)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Analytics for SPARQL query logs (VLDB 2017 reproduction).",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_distribution_version()}",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -264,9 +320,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile-passes",
         action="store_true",
         help="print per-pass wall time and structural-cache hit rate "
-        "after the report",
+        "after the report (text format only)",
     )
+    analyze.add_argument(
+        "--save-study",
+        default=None,
+        metavar="PATH",
+        help="also write the study as a versioned JSON snapshot "
+        "(reload with `repro report`, combine with `repro merge`)",
+    )
+    _add_format_option(analyze)
     analyze.set_defaults(func=_cmd_analyze)
+
+    merge = commands.add_parser(
+        "merge", help="combine saved study snapshots into one"
+    )
+    merge.add_argument(
+        "studies",
+        nargs="+",
+        metavar="STUDY.json",
+        help="snapshots written by `repro analyze --save-study` (merged "
+        "in argument order, which fixes tie-breaking in the tables)",
+    )
+    merge.add_argument(
+        "--out",
+        "-o",
+        default=None,
+        metavar="PATH",
+        help="write the merged snapshot here (default: print JSON to stdout)",
+    )
+    merge.set_defaults(func=_cmd_merge)
+
+    report = commands.add_parser(
+        "report", help="render a saved study snapshot"
+    )
+    report.add_argument(
+        "study",
+        metavar="STUDY.json",
+        help="a snapshot written by `repro analyze --save-study` or `repro merge`",
+    )
+    _add_format_option(report)
+    report.set_defaults(func=_cmd_report)
 
     corpus = commands.add_parser("corpus", help="generate the synthetic corpus")
     corpus.add_argument("--scale", type=float, default=1e-5)

@@ -14,6 +14,7 @@ __all__ = [
     "EvaluationTimeout",
     "WorkloadError",
     "LogFormatError",
+    "StudySnapshotError",
 ]
 
 
@@ -56,3 +57,12 @@ class WorkloadError(ReproError):
 
 class LogFormatError(ReproError):
     """A raw log line could not be decoded into a log entry."""
+
+
+class StudySnapshotError(ReproError):
+    """A serialized study snapshot is unreadable.
+
+    Raised by :mod:`repro.analysis.snapshot` when a snapshot file is
+    not JSON, carries an unexpected schema version, or is missing
+    fields the loader needs — always with a message naming what was
+    wrong, so ``repro merge``/``repro report`` can surface it."""

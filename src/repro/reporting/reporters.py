@@ -1,0 +1,424 @@
+"""Pluggable multi-format study reporters.
+
+The text tables of :mod:`repro.reporting.tables` used to be the *only*
+way to consume a :class:`~repro.analysis.study.CorpusStudy`.  This
+module turns output into a registry of :class:`Reporter` objects —
+``text``, ``json``, ``jsonl``, ``csv``, ``markdown`` out of the box —
+that all render from the study alone (Table 1 comes from the pipeline
+counters carried on ``study.datasets``), so a snapshot loaded from JSON
+reports exactly like a freshly computed study.
+
+Contracts:
+
+* ``render_report(study, "text")`` is byte-identical to the historical
+  ``render_study(study, logs)`` output for any study produced by the
+  drivers (golden-tested) — Table 1 first, then the paper tables.
+* Every reporter is a pure function of the study: same study, same
+  bytes, so serial/sharded/streamed/reloaded runs compare equal.
+* Third-party formats plug in via :func:`register_reporter`; the CLI
+  (``repro analyze --format``, ``repro report --format``) picks them
+  up from the registry automatically.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List, Protocol, Sequence, Tuple, runtime_checkable
+
+from ..analysis.study import CorpusStudy
+from .tables import (
+    _pct,
+    figure5_rows,
+    render_coverage_caveats,
+    render_study,
+    render_table1_from_study,
+    table1_rows,
+)
+
+__all__ = [
+    "Reporter",
+    "TextReporter",
+    "JsonReporter",
+    "JsonlReporter",
+    "CsvReporter",
+    "MarkdownReporter",
+    "get_reporter",
+    "register_reporter",
+    "render_report",
+    "reporter_names",
+]
+
+
+@runtime_checkable
+class Reporter(Protocol):
+    """One output format for a corpus study.
+
+    Implementations must be pure: ``render`` may not mutate the study
+    and must return the same bytes for equal studies."""
+
+    #: Registry key, the vocabulary of ``--format``.
+    name: str
+    #: One-line description for ``--help`` and error messages.
+    description: str
+
+    def render(self, study: CorpusStudy) -> str:
+        """Render *study* to a complete output document."""
+        ...
+
+
+class TextReporter:
+    """The paper-style monospace tables (the historical CLI output)."""
+
+    name = "text"
+    description = "paper-style monospace tables (default)"
+
+    def render(self, study: CorpusStudy) -> str:
+        # Table 1 from the stats the pipeline stamped onto the study,
+        # then the same block sequence render_study(study, logs) built:
+        # byte-identical to the pre-registry CLI output.
+        return render_table1_from_study(study) + "\n\n" + render_study(study)
+
+
+class JsonReporter:
+    """The versioned snapshot itself: machine-readable, reloadable."""
+
+    name = "json"
+    description = "versioned JSON snapshot (loadable by `repro report`/`merge`)"
+
+    def render(self, study: CorpusStudy) -> str:
+        return json.dumps(study.to_dict(), indent=2) + "\n"
+
+
+class JsonlReporter:
+    """One JSON object per dataset: stream-friendly per-source stats."""
+
+    name = "jsonl"
+    description = "one JSON line per dataset (per-source counters + shares)"
+
+    def render(self, study: CorpusStudy) -> str:
+        lines = []
+        for name, stats in study.datasets.items():
+            record = {"dataset": name}
+            data = stats.to_dict()
+            del data["name"]
+            record.update(data)
+            record["select_ask_share"] = round(stats.select_ask_share, 6)
+            record["average_triples"] = round(stats.average_triples, 6)
+            lines.append(json.dumps(record))
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def _study_long_rows(study: CorpusStudy) -> List[Tuple[str, str, str, str]]:
+    """Every table of the study flattened to (section, row, column, value).
+
+    The long format makes every measurement one addressable cell —
+    trivially loadable into pandas/SQL — without inventing a schema per
+    table.  Percentages are fixed to 4 decimals so output is stable.
+    """
+    rows: List[Tuple[str, str, str, str]] = []
+
+    def pct(value: float) -> str:
+        return f"{value:.4f}"
+
+    for name, total, valid, unique in table1_rows(study):
+        rows.append(("table1", name, "total", str(total)))
+        rows.append(("table1", name, "valid", str(valid)))
+        rows.append(("table1", name, "unique", str(unique)))
+    for keyword, absolute, relative in study.keyword_table():
+        rows.append(("table2", keyword, "absolute", str(absolute)))
+        rows.append(("table2", keyword, "relative_pct", pct(relative)))
+    for name, stats in study.datasets.items():
+        rows.append(("figure1", name, "select_ask_share_pct",
+                     pct(100.0 * stats.select_ask_share)))
+        rows.append(("figure1", name, "average_triples",
+                     f"{stats.average_triples:.4f}"))
+        for bucket, share in stats.triple_hist_percentages().items():
+            rows.append(("figure1", name, f"triples_{bucket}_pct", pct(share)))
+    for label, count, relative in study.operator_table():
+        rows.append(("table3", label, "absolute", str(count)))
+        rows.append(("table3", label, "relative_pct", pct(relative)))
+    for letter, name in (("O", "CPF+O"), ("G", "CPF+G"), ("U", "CPF+U")):
+        increment, relative = study.cpf_plus(letter)
+        rows.append(("table3", name, "absolute", str(increment)))
+        rows.append(("table3", name, "relative_pct", pct(relative)))
+    rows.append(("table3", "other combinations", "absolute",
+                 str(study.operator_other_combination)))
+    rows.append(("table3", "other features", "absolute",
+                 str(study.operator_other_features)))
+    low, high = study.projection_bounds()
+    rows.append(("sec4.4", "subqueries", "absolute", str(study.subquery_count)))
+    rows.append(("sec4.4", "projection", "lower_pct", pct(low)))
+    rows.append(("sec4.4", "projection", "upper_pct", pct(high)))
+    for label, count in (
+        ("AOF", study.aof_count),
+        ("CQ", study.cq_count),
+        ("CQF", study.cqf_count),
+        ("CQOF", study.cqof_count),
+        ("well-designed", study.well_designed_count),
+        ("interface width > 1", study.wide_interface_count),
+    ):
+        rows.append(("sec5.2", label, "absolute", str(count)))
+    for fragment, sizes in (
+        ("CQ", study.cq_sizes),
+        ("CQF", study.cqf_sizes),
+        ("CQOF", study.cqof_sizes),
+    ):
+        for size, count in sizes.items():
+            rows.append(("figure5", fragment, f"size_{size}", str(count)))
+    for fragment in ("CQ", "CQF", "CQOF"):
+        for shape, count, relative in study.shape_table(fragment):
+            rows.append((f"table4:{fragment}", shape, "absolute", str(count)))
+            rows.append((f"table4:{fragment}", shape, "relative_pct", pct(relative)))
+    for length, count in sorted(study.girth_hist.items()):
+        rows.append(("sec6.1", f"shortest_cycle_{length}", "absolute", str(count)))
+    rows.append(("sec6.1", "single_edge_cq", "absolute", str(study.single_edge_cq)))
+    rows.append(("sec6.1", "single_edge_cq_with_constants", "absolute",
+                 str(study.single_edge_cq_with_constants)))
+    for width, count in sorted(study.hypertree_widths.items()):
+        rows.append(("sec6.2", f"hypertree_width_{width}", "absolute", str(count)))
+    for nodes, count in sorted(study.decomposition_nodes.items()):
+        rows.append(("sec6.2", f"decomposition_nodes_{nodes}", "absolute", str(count)))
+    rows.append(("table5", "property_paths_total", "absolute",
+                 str(study.property_path_total)))
+    for form, count in study.simple_path_forms.items():
+        rows.append(("table5", f"simple_{form}", "absolute", str(count)))
+    for name, count, relative, k_range in study.path_table():
+        rows.append(("table5", name, "absolute", str(count)))
+        rows.append(("table5", name, "relative_pct", pct(relative)))
+        if k_range:
+            rows.append(("table5", name, "k_range", k_range))
+    rows.append(("coverage", "shape_limit_skipped", "absolute",
+                 str(study.shape_limit_skipped)))
+    rows.append(("coverage", "non_ctract_truncated", "absolute",
+                 str(study.non_ctract_truncated)))
+    return rows
+
+
+class CsvReporter:
+    """Long-format CSV: one measurement cell per row."""
+
+    name = "csv"
+    description = "long-format CSV (section,row,column,value)"
+
+    def render(self, study: CorpusStudy) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(("section", "row", "column", "value"))
+        writer.writerows(_study_long_rows(study))
+        return buffer.getvalue()
+
+
+def _md_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "| " + " | ".join("---" for _ in headers) + " |"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+class MarkdownReporter:
+    """GitHub-flavored markdown: the paper tables as pipe tables."""
+
+    name = "markdown"
+    description = "GitHub-flavored markdown tables"
+
+    def render(self, study: CorpusStudy) -> str:
+        corpus = "Unique" if study.dedup else "Valid"
+        blocks = [f"# SPARQL log study ({corpus} corpus)"]
+        blocks.append(
+            "## Table 1: Sizes of query logs\n\n"
+            + _md_table(
+                ("Source", "Total #Q", "Valid #Q", "Unique #Q"),
+                [
+                    (name, f"{total:,}", f"{valid:,}", f"{unique:,}")
+                    for name, total, valid, unique in table1_rows(study)
+                ],
+            )
+        )
+        blocks.append(
+            "## Table 2: Keyword count in queries\n\n"
+            + _md_table(
+                ("Element", "Absolute", "Relative"),
+                [
+                    (keyword, f"{absolute:,}", _pct(relative))
+                    for keyword, absolute, relative in study.keyword_table()
+                ],
+            )
+        )
+        summary_rows = [
+            (
+                name,
+                f"{100.0 * stats.select_ask_share:.2f}%",
+                f"{stats.average_triples:.2f}",
+            )
+            for name, stats in study.datasets.items()
+        ]
+        blocks.append(
+            "## Figure 1: S/A share and average triples\n\n"
+            + _md_table(("Dataset", "S/A", "Avg#T"), summary_rows)
+        )
+        operator_rows = [
+            (label, f"{count:,}", _pct(relative))
+            for label, count, relative in study.operator_table()
+        ]
+        for letter, label in (("O", "CPF+O"), ("G", "CPF+G"), ("U", "CPF+U")):
+            increment, relative = study.cpf_plus(letter)
+            operator_rows.append((label, f"+{increment:,}", f"+{relative:.2f}%"))
+        blocks.append(
+            "## Table 3: Sets of operators used in queries\n\n"
+            + _md_table(("Operator Set", "Absolute", "Relative"), operator_rows)
+        )
+        low, high = study.projection_bounds()
+        blocks.append(
+            "## Sec 4.4: Subqueries and projection\n\n"
+            + _md_table(
+                ("Measure", "Value"),
+                [
+                    ("queries with subqueries", f"{study.subquery_count:,}"),
+                    ("projection bounds", f"{low:.2f}%-{high:.2f}%"),
+                ],
+            )
+        )
+        sa = study.select_ask_count or 1
+        aof = study.aof_count or 1
+        blocks.append(
+            "## Sec 5.2: Query fragments\n\n"
+            + _md_table(
+                ("Fragment", "Absolute", "Relative"),
+                [
+                    ("AOF patterns", f"{study.aof_count:,}",
+                     _pct(100.0 * study.aof_count / sa)),
+                    ("CQ (of AOF)", f"{study.cq_count:,}",
+                     _pct(100.0 * study.cq_count / aof)),
+                    ("CQF (of AOF)", f"{study.cqf_count:,}",
+                     _pct(100.0 * study.cqf_count / aof)),
+                    ("well-designed (of AOF)", f"{study.well_designed_count:,}",
+                     _pct(100.0 * study.well_designed_count / aof)),
+                    ("CQOF (of AOF)", f"{study.cqof_count:,}",
+                     _pct(100.0 * study.cqof_count / aof)),
+                    ("interface width > 1", f"{study.wide_interface_count:,}",
+                     _pct(100.0 * study.wide_interface_count / aof)),
+                ],
+            )
+        )
+        blocks.append(
+            "## Figure 5: Size of CQ-like queries with at least two triples\n\n"
+            + _md_table(("size", "CQ", "CQF", "CQOF"), figure5_rows(study))
+        )
+        for fragment in ("CQ", "CQF", "CQOF"):
+            blocks.append(
+                f"## Table 4 ({fragment}): cumulative shape analysis\n\n"
+                + _md_table(
+                    ("Shape", "#Queries", "Relative %"),
+                    [
+                        (shape, f"{count:,}", _pct(relative))
+                        for shape, count, relative in study.shape_table(fragment)
+                    ],
+                )
+            )
+        girth_rows = [
+            (f"shortest cycle = {length}", f"{count:,}")
+            for length, count in sorted(study.girth_hist.items())
+        ]
+        constants = study.single_edge_cq_with_constants
+        total_single = study.single_edge_cq or 1
+        blocks.append(
+            "## Sec 6.1: Cycles and constants\n\n"
+            + _md_table(
+                ("Measure", "#Queries"),
+                girth_rows
+                + [
+                    ("single-edge CQs", f"{study.single_edge_cq:,}"),
+                    (
+                        "single-edge CQs using constants",
+                        f"{constants:,} ({100.0 * constants / total_single:.2f}%)",
+                    ),
+                ],
+            )
+        )
+        blocks.append(
+            "## Sec 6.2: Hypertree width of predicate-variable CQOF queries\n\n"
+            + _md_table(
+                ("Measure", "#Queries"),
+                [
+                    (f"hypertree width {width}", f"{count:,}")
+                    for width, count in sorted(study.hypertree_widths.items())
+                ]
+                + [
+                    (f"decomposition nodes = {nodes}", f"{count:,}")
+                    for nodes, count in sorted(study.decomposition_nodes.items())
+                ],
+            )
+        )
+        blocks.append(
+            "## Table 5: Structure of navigational property paths\n\n"
+            + _md_table(
+                ("Expression Type", "Absolute", "Relative", "k"),
+                [
+                    (name, f"{count:,}", _pct(relative), k_range)
+                    for name, count, relative, k_range in study.path_table()
+                ],
+            )
+        )
+        caveats = render_coverage_caveats(study)
+        if caveats is not None:
+            blocks.append(
+                "## Coverage caveats\n\n"
+                + _md_table(
+                    ("Limit", "Dropped"),
+                    [
+                        ("queries over the shape-node limit",
+                         f"{study.shape_limit_skipped:,}"),
+                        ("non-Ctract paths beyond the sample cap",
+                         f"{study.non_ctract_truncated:,}"),
+                    ],
+                )
+            )
+        return "\n\n".join(blocks) + "\n"
+
+
+#: The built-in formats, in presentation order.
+_REGISTRY: Dict[str, Reporter] = {}
+
+
+def register_reporter(reporter: Reporter, *, replace: bool = False) -> None:
+    """Add *reporter* to the registry under ``reporter.name``.
+
+    Registering a taken name is an error unless ``replace=True`` —
+    accidental shadowing of a built-in format should be loud."""
+    if not replace and reporter.name in _REGISTRY:
+        raise ValueError(f"reporter {reporter.name!r} is already registered")
+    _REGISTRY[reporter.name] = reporter
+
+
+for _reporter in (
+    TextReporter(),
+    JsonReporter(),
+    JsonlReporter(),
+    CsvReporter(),
+    MarkdownReporter(),
+):
+    register_reporter(_reporter)
+
+
+def reporter_names() -> Tuple[str, ...]:
+    """Registered format names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_reporter(name: str) -> Reporter:
+    """Look up a format; unknown names raise with the available list."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown report format {name!r} "
+            f"(available: {', '.join(_REGISTRY)})"
+        ) from None
+
+
+def render_report(study: CorpusStudy, format: str = "text") -> str:
+    """Render *study* in the named *format* (the one-call entry point)."""
+    return get_reporter(format).render(study)

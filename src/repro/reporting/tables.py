@@ -18,8 +18,11 @@ __all__ = [
     "render_study",
     "render_table",
     "render_table1",
+    "render_table1_from_study",
+    "table1_rows",
     "render_table2",
     "render_figure1",
+    "figure5_rows",
     "render_table3",
     "render_projection",
     "render_fragments",
@@ -96,20 +99,53 @@ def _pct(value: float) -> str:
     return f"{value:.2f}%"
 
 
+def table1_rows(study: CorpusStudy) -> List[Tuple[str, int, int, int]]:
+    """Table 1 `(source, total, valid, unique)` rows (with a Total row)
+    from the per-dataset pipeline counters carried on the study."""
+    rows = []
+    total = valid = unique = 0
+    for name, stats in study.datasets.items():
+        rows.append((name, stats.total, stats.valid, stats.unique))
+        total += stats.total
+        valid += stats.valid
+        unique += stats.unique
+    rows.append(("Total", total, valid, unique))
+    return rows
+
+
+def _render_table1_rows(rows: Iterable[Tuple[str, int, int, int]]) -> str:
+    return render_table(
+        "Table 1: Sizes of query logs in our corpus",
+        ("Source", "Total #Q", "Valid #Q", "Unique #Q"),
+        [
+            (name, f"{total:,}", f"{valid:,}", f"{unique:,}")
+            for name, total, valid, unique in rows
+        ],
+    )
+
+
 def render_table1(logs: Mapping[str, QueryLog]) -> str:
     rows = []
     total = valid = unique = 0
     for name, log in logs.items():
-        rows.append((name, f"{log.total:,}", f"{log.valid:,}", f"{log.unique:,}"))
+        rows.append((name, log.total, log.valid, log.unique))
         total += log.total
         valid += log.valid
         unique += log.unique
-    rows.append(("Total", f"{total:,}", f"{valid:,}", f"{unique:,}"))
-    return render_table(
-        "Table 1: Sizes of query logs in our corpus",
-        ("Source", "Total #Q", "Valid #Q", "Unique #Q"),
-        rows,
-    )
+    rows.append(("Total", total, valid, unique))
+    return _render_table1_rows(rows)
+
+
+def render_table1_from_study(study: CorpusStudy) -> str:
+    """Table 1 rendered from ``study.datasets`` instead of live logs.
+
+    ``study_corpus`` copies the pipeline counters (Total/Valid/Unique)
+    onto each :class:`DatasetStats`, so for any study the drivers
+    produce this is byte-identical to :func:`render_table1` over the
+    source logs — which is what lets a snapshot loaded from JSON render
+    the exact same report with no :class:`QueryLog` objects around.
+    """
+    return _render_table1_rows(table1_rows(study))
 
 
 def render_table2(study: CorpusStudy, title: str = "Table 2") -> str:
@@ -241,8 +277,8 @@ def render_fragments(study: CorpusStudy) -> str:
     )
 
 
-def render_figure5(study: CorpusStudy, title: str = "Figure 5") -> str:
-    headers = ("size", "CQ", "CQF", "CQOF")
+def figure5_rows(study: CorpusStudy) -> List[Tuple[str, str, str, str]]:
+    """Figure 5 `(size, CQ%, CQF%, CQOF%)` rows, shared by renderers."""
     rows: List[Tuple[str, str, str, str]] = []
 
     def column(sizes, bucket_low: int, bucket_high: Optional[int]) -> str:
@@ -278,10 +314,14 @@ def render_figure5(study: CorpusStudy, title: str = "Figure 5") -> str:
         total = sum(sizes.values()) or 1
         one_triple.append(f"{100.0 * sizes.get(1, 0) / total:.2f}%")
     rows.append(("(1 triple)", *one_triple))
+    return rows
+
+
+def render_figure5(study: CorpusStudy, title: str = "Figure 5") -> str:
     return render_table(
         f"{title}: Size of CQ-like queries with at least two triples",
-        headers,
-        rows,
+        ("size", "CQ", "CQF", "CQOF"),
+        figure5_rows(study),
     )
 
 

@@ -1,9 +1,12 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import main, read_query_file
-from repro.logs import encode_access_log_line
+from repro.analysis.snapshot import SCHEMA_VERSION, load_study
+from repro.cli import main
+from repro.logs import encode_access_log_line, read_entries
 
 
 @pytest.fixture()
@@ -17,15 +20,15 @@ def query_file(tmp_path):
     return path
 
 
-class TestReadQueryFile:
+class TestReadEntries:
     def test_line_format(self, query_file):
-        queries = read_query_file(query_file)
+        queries = read_entries(query_file)
         assert len(queries) == 3
 
     def test_escaped_newlines(self, tmp_path):
         path = tmp_path / "q.rq"
         path.write_text("SELECT ?x WHERE {\\n ?x <urn:p> ?y\\n}\n")
-        queries = read_query_file(path)
+        queries = read_entries(path)
         assert len(queries) == 1
         assert "\n" in queries[0]
 
@@ -36,7 +39,7 @@ class TestReadQueryFile:
             "\n"
             "ASK { ?s ?p ?o }\n"
         )
-        queries = read_query_file(path)
+        queries = read_entries(path)
         assert len(queries) == 2
         assert queries[0].startswith("SELECT")
 
@@ -47,7 +50,7 @@ class TestReadQueryFile:
             encode_access_log_line("SELECT * WHERE { ?s ?p ?o }"),
         ]
         path.write_text("\n".join(lines) + "\n")
-        queries = read_query_file(path)
+        queries = read_entries(path)
         assert queries == ["ASK { ?s ?p ?o }", "SELECT * WHERE { ?s ?p ?o }"]
 
     def test_gzip_input(self, tmp_path):
@@ -56,7 +59,7 @@ class TestReadQueryFile:
         path = tmp_path / "access.log.gz"
         with gzip.open(path, "wt", encoding="utf-8") as handle:
             handle.write(encode_access_log_line("ASK { ?s ?p ?o }") + "\n")
-        assert read_query_file(path) == ["ASK { ?s ?p ?o }"]
+        assert read_entries(path) == ["ASK { ?s ?p ?o }"]
 
 
 class TestCommands:
@@ -194,3 +197,196 @@ class TestArgumentValidation:
         second.write_text("SELECT * WHERE { ?a ?b ?c }\n")
         assert main(["analyze", str(first), str(second)]) == 2
         assert "dataset name" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        # Semantic-looking version, from package metadata or the source tree.
+        assert out.split()[1][0].isdigit()
+
+
+class TestSnapshotVerbs:
+    """`analyze --save-study`, `merge`, and `report` round trips."""
+
+    @pytest.fixture()
+    def two_files(self, tmp_path):
+        first = tmp_path / "alpha.rq"
+        first.write_text(
+            "SELECT ?x WHERE { ?x <urn:p> ?y }\n"
+            "ASK { ?a <urn:q> ?b . ?b <urn:r> ?a }\n"
+        )
+        second = tmp_path / "beta.rq"
+        second.write_text(
+            "SELECT DISTINCT ?s WHERE { ?s <urn:p> ?o . FILTER(?o > 3) }\n"
+            "ASK { ?s <urn:p>+ ?o }\n"
+        )
+        return first, second
+
+    def test_save_study_writes_loadable_snapshot(self, two_files, tmp_path, capsys):
+        first, _ = two_files
+        out = tmp_path / "study.json"
+        assert main(["analyze", str(first), "--save-study", str(out)]) == 0
+        capsys.readouterr()
+        study = load_study(out)
+        assert study.query_count == 2
+        assert "alpha" in study.datasets
+
+    def test_report_text_matches_analyze_output(self, two_files, tmp_path, capsys):
+        first, second = two_files
+        assert main(["analyze", str(first), str(second)]) == 0
+        direct = capsys.readouterr().out
+        out = tmp_path / "study.json"
+        assert main(
+            ["analyze", str(first), str(second), "--save-study", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(out)]) == 0
+        assert capsys.readouterr().out == direct
+
+    def test_merge_equals_direct_multi_file_run(self, two_files, tmp_path, capsys):
+        first, second = two_files
+        assert main(["analyze", str(first), str(second)]) == 0
+        direct = capsys.readouterr().out
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["analyze", str(first), "--save-study", str(a)]) == 0
+        assert main(["analyze", str(second), "--save-study", str(b)]) == 0
+        merged = tmp_path / "merged.json"
+        assert main(["merge", str(a), str(b), "--out", str(merged)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(merged)]) == 0
+        assert capsys.readouterr().out == direct
+
+    def test_merge_without_out_prints_snapshot_json(self, two_files, tmp_path, capsys):
+        first, _ = two_files
+        a = tmp_path / "a.json"
+        assert main(["analyze", str(first), "--save-study", str(a)]) == 0
+        capsys.readouterr()
+        assert main(["merge", str(a)]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["schema"] == SCHEMA_VERSION
+
+    def test_analyze_format_json_is_loadable(self, two_files, capsys):
+        first, _ = two_files
+        assert main(["analyze", str(first), "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "repro.corpus_study"
+
+    @pytest.mark.parametrize("fmt", ["text", "json", "jsonl", "csv", "markdown"])
+    def test_report_every_registered_format(self, two_files, tmp_path, capsys, fmt):
+        first, _ = two_files
+        out = tmp_path / "study.json"
+        assert main(["analyze", str(first), "--save-study", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out), "--format", fmt]) == 0
+        assert capsys.readouterr().out
+
+
+class TestSnapshotErrorPaths:
+    """Missing/corrupt/mis-versioned snapshots and unknown formats must
+    exit 2 with a clear message, never crash with a traceback."""
+
+    @pytest.fixture()
+    def snapshot(self, tmp_path, capsys):
+        source = tmp_path / "q.rq"
+        source.write_text("ASK { ?s ?p ?o }\n")
+        path = tmp_path / "study.json"
+        assert main(["analyze", str(source), "--save-study", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.json")]) == 2
+        assert "report:" in capsys.readouterr().err
+
+    def test_report_corrupt_json(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert main(["report", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_report_schema_version_mismatch(self, snapshot, tmp_path, capsys):
+        data = json.loads(snapshot.read_text())
+        data["schema"] = SCHEMA_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(data))
+        assert main(["report", str(path)]) == 2
+        assert "schema version" in capsys.readouterr().err
+
+    def test_report_wrong_kind(self, snapshot, tmp_path, capsys):
+        data = json.loads(snapshot.read_text())
+        data["kind"] = "something.else"
+        path = tmp_path / "kind.json"
+        path.write_text(json.dumps(data))
+        assert main(["report", str(path)]) == 2
+        assert "kind" in capsys.readouterr().err
+
+    def test_report_missing_field(self, snapshot, tmp_path, capsys):
+        data = json.loads(snapshot.read_text())
+        del data["keyword_counts"]
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps(data))
+        assert main(["report", str(path)]) == 2
+        assert "keyword_counts" in capsys.readouterr().err
+
+    def test_report_unhashable_counter_key(self, snapshot, tmp_path, capsys):
+        # A corrupted pair list with a non-scalar key must be a clean
+        # snapshot error, not an unhashable-key TypeError traceback.
+        data = json.loads(snapshot.read_text())
+        data["keyword_counts"] = [[[1, 2], 3]]
+        path = tmp_path / "unhashable.json"
+        path.write_text(json.dumps(data))
+        assert main(["report", str(path)]) == 2
+        assert "not a string or int" in capsys.readouterr().err
+
+    def test_analyze_save_study_unwritable_path(self, tmp_path, capsys):
+        source = tmp_path / "q.rq"
+        source.write_text("ASK { ?s ?p ?o }\n")
+        target = tmp_path / "no-such-dir" / "s.json"
+        assert main(["analyze", str(source), "--save-study", str(target)]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_merge_out_unwritable_path(self, snapshot, tmp_path, capsys):
+        target = tmp_path / "no-such-dir" / "m.json"
+        assert main(["merge", str(snapshot), "--out", str(target)]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_analyze_missing_input_file(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.log")]) == 2
+        assert "analyze:" in capsys.readouterr().err
+
+    def test_report_unknown_format(self, snapshot, capsys):
+        assert main(["report", str(snapshot), "--format", "yaml"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown report format" in err
+        assert "text" in err  # the message lists what IS available
+
+    def test_analyze_unknown_format(self, tmp_path, capsys):
+        source = tmp_path / "q.rq"
+        source.write_text("ASK { ?s ?p ?o }\n")
+        assert main(["analyze", str(source), "--format", "yaml"]) == 2
+        assert "unknown report format" in capsys.readouterr().err
+
+    def test_merge_missing_file(self, snapshot, tmp_path, capsys):
+        assert main(["merge", str(snapshot), str(tmp_path / "gone.json")]) == 2
+        assert "merge:" in capsys.readouterr().err
+
+    def test_merge_rejects_mixed_corpus_flavours(self, tmp_path, capsys):
+        source = tmp_path / "q.rq"
+        source.write_text("ASK { ?s ?p ?o }\nASK { ?s ?p ?o }\n")
+        unique = tmp_path / "unique.json"
+        valid = tmp_path / "valid.json"
+        assert main(["analyze", str(source), "--save-study", str(unique)]) == 0
+        assert main(
+            [
+                "analyze", "--keep-duplicates", str(source),
+                "--save-study", str(valid),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["merge", str(unique), str(valid)]) == 2
+        assert "cannot merge" in capsys.readouterr().err

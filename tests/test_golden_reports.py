@@ -12,14 +12,15 @@ To regenerate after an *intentional* output change::
 and commit the diff.
 """
 
+import json
 from pathlib import Path
 
 import pytest
 
 from repro.analysis.parallel import build_query_logs_parallel
-from repro.analysis.study import study_corpus
+from repro.analysis.study import CorpusStudy, study_corpus
 from repro.logs import build_query_log, dataset_name, iter_entries, read_entries
-from repro.reporting import render_study
+from repro.reporting import render_report, render_study
 from repro.reporting.tables import render_dataset_highlights, render_table1
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
@@ -76,6 +77,28 @@ class TestGoldenReports:
 
     def test_table1(self, fixture_logs, update_goldens):
         check_golden("table1.txt", render_table1(fixture_logs), update_goldens)
+
+    def test_study_snapshot_json(self, fixture_logs, update_goldens):
+        """The serialized snapshot layout is pinned byte-for-byte: any
+        schema drift (field rename, ordering change, encoding change)
+        surfaces as a golden diff — which is the moment to bump
+        SCHEMA_VERSION, not to let old snapshots rot silently."""
+        study = study_corpus(fixture_logs)
+        payload = json.dumps(study.to_dict(), indent=2) + "\n"
+        check_golden("study_snapshot.json", payload, update_goldens)
+
+    def test_golden_snapshot_reloads_and_rerenders(self, fixture_logs, update_goldens):
+        """A snapshot from disk must reproduce the golden text report
+        with no QueryLog objects around (Table 1 travels on the stats)."""
+        if update_goldens:
+            pytest.skip("goldens are regenerated from the direct path")
+        data = json.loads(
+            (GOLDEN_DIR / "study_snapshot.json").read_text(encoding="utf-8")
+        )
+        study = CorpusStudy.from_dict(data)
+        assert study == study_corpus(fixture_logs)
+        expected = (GOLDEN_DIR / "study_report.txt").read_text(encoding="utf-8")
+        assert render_report(study, "text") == expected
 
     def test_streamed_ingestion_reproduces_golden(self, update_goldens):
         """The streamed path must hit the same golden bytes as the

@@ -4,7 +4,6 @@ import gzip
 
 import pytest
 
-from repro.cli import read_query_file
 from repro.logs import (
     dataset_name,
     detect_format,
@@ -84,7 +83,7 @@ class TestIterFileEntries:
         ):
             path = tmp_path / name
             path.write_text(body)
-            assert list(iter_file_entries(path)) == read_query_file(path)
+            assert list(iter_file_entries(path)) == read_entries(path)
 
     def test_lazy_consumption(self, tmp_path):
         # Pulling one entry must not require materializing the file.
