@@ -47,6 +47,12 @@ def test_pass_profile_artifact(corpus_study, corpus_logs):
         },
     }
     out_path = Path(os.environ.get("REPRO_BENCH_PASSES_JSON", "BENCH_passes.json"))
+    # Merge key-wise: other benches (the Table 6 streak comparison)
+    # contribute their own top-level keys to the same artifact.
+    if out_path.exists():
+        merged = json.loads(out_path.read_text(encoding="utf-8"))
+        merged.update(payload)
+        payload = merged
     out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
     banner("Analyzer passes: per-pass wall time (cache on)")

@@ -5,15 +5,26 @@ window 30 and normalized Levenshtein ≤ 0.25.  What should hold: the
 length histogram is heavily skewed to 1–10, decays monotonically-ish
 through the buckets, and long streaks (> 100; paper's max was 169)
 exist but are rare.
+
+Also records a serial-vs-sharded wall-time comparison of the
+mergeable :class:`~repro.analysis.streaks.StreakAccumulator` path into
+``BENCH_passes.json`` (merged key-wise with the analyzer-pass
+timings), so the cost of the paper's "extremely resource-consuming"
+analysis is tracked per commit.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
+from pathlib import Path
 
 from _bench_utils import banner
 
 from repro.analysis import find_streaks, streak_length_histogram
+from repro.analysis.parallel import imap_bounded, iter_chunks
+from repro.analysis.streaks import StreakAccumulator
 from repro.reporting import render_table6
 from repro.workload import DATASET_PROFILES, generate_day_log
 
@@ -68,3 +79,66 @@ def test_table6_streaks(benchmark):
         sum(v for k, v in histogram.items() if k != "1-10") > 0
         for histogram in histograms.values()
     )
+
+
+def _detect_chunk(texts):
+    accumulator = StreakAccumulator(window=30)
+    for text in texts:
+        accumulator.push(text)
+    return accumulator
+
+
+def test_table6_sharded_vs_serial_walltime():
+    """Serial scan vs chunked multiprocessing scan of one day log.
+
+    Asserts exactness (the sharded result is the serial one) and merges
+    both wall times into BENCH_passes.json for the CI artifact.  On a
+    single-core runner the sharded path may well be slower — the point
+    is the recorded trajectory, not a local speedup assertion.
+    """
+    workers = min(4, os.cpu_count() or 1)
+    log = generate_day_log(
+        DAY_LOG_SIZE * 2, session_rate=0.30, seed=6,
+        profile=DATASET_PROFILES["DBpedia15"],
+    )
+
+    started = time.perf_counter()
+    serial = _detect_chunk(log)
+    serial_seconds = time.perf_counter() - started
+
+    chunk_size = max(1, len(log) // (workers * 4))
+    started = time.perf_counter()
+    sharded = StreakAccumulator(window=30)
+    for partial in imap_bounded(
+        _detect_chunk, iter_chunks(log, chunk_size), workers
+    ):
+        sharded.merge(partial)
+    sharded_seconds = time.perf_counter() - started
+
+    assert sharded == serial  # byte-identical, not just same histogram
+    assert sharded.length_histogram() == streak_length_histogram(
+        find_streaks(log, window=30)
+    )
+
+    out_path = Path(os.environ.get("REPRO_BENCH_PASSES_JSON", "BENCH_passes.json"))
+    payload = {}
+    if out_path.exists():
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+    payload["streaks"] = {
+        "queries": len(log),
+        "window": 30,
+        "workers": workers,
+        "chunk_size": chunk_size,
+        "serial_seconds": round(serial_seconds, 6),
+        "sharded_seconds": round(sharded_seconds, 6),
+        "streak_count": serial.streak_count,
+        "longest": serial.longest,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    banner("Table 6: serial vs sharded streak scan")
+    print(
+        f"  {len(log)} queries, window 30: serial {serial_seconds:.3f}s, "
+        f"sharded ({workers} workers) {sharded_seconds:.3f}s"
+    )
+    print(f"  wrote {out_path}")

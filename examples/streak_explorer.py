@@ -4,8 +4,14 @@
 Generates a synthetic single-day DBpedia-style log containing
 "refinement sessions" — a user starts from a seed query and gradually
 edits it — then detects streaks with the paper's method (window 30,
-normalized Levenshtein ≤ 0.25 after prefix stripping) and prints the
-Table 6 length histogram plus the longest streak found.
+normalized Levenshtein ≤ 0.25 after prefix stripping) through the
+``repro.api`` facade, and prints the Table 6 length histogram plus the
+longest streak found.
+
+The facade runs streak detection as a *sequence pass* of the sharded
+pipeline (``metrics=("streaks",)``), so the same call scales to worker
+pools and snapshot merging; the window-size sweep at the end uses the
+low-level ``find_streaks`` scan directly to show both API levels.
 
 Also sweeps the window size to show the paper's observation that larger
 windows yield longer streaks.
@@ -14,30 +20,35 @@ Run: ``python examples/streak_explorer.py [n_queries]``
 """
 
 import sys
+from typing import Optional, Sequence
 
 from repro import find_streaks, generate_day_log
-from repro.analysis import streak_length_histogram
-from repro.reporting import render_table6
+from repro.api import analyze_corpora
+from repro.reporting import render_table6_from_study
 
 
-def main() -> None:
-    n_queries = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    n_queries = int(argv[0]) if argv else 2000
 
     print(f"Generating a {n_queries}-query day log with refinement sessions…")
     log = generate_day_log(n_queries=n_queries, session_rate=0.3, seed=2016)
 
     print("Detecting streaks (window=30, threshold 25%)…")
-    streaks = find_streaks(log, window=30)
-    histogram = streak_length_histogram(streaks)
-    print(render_table6({"day-log": histogram}))
+    result = analyze_corpora({"day-log": log}, metrics=("streaks",))
+    print(render_table6_from_study(result.study))
 
-    longest = max(streaks, key=lambda s: s.length)
-    print(f"\nLongest streak: {longest.length} queries "
-          f"(paper's longest at w=30 was 169)")
-    print("Its first three members:")
-    for index in longest.indices[:3]:
-        first_line = log[index].splitlines()[0]
-        print(f"  [{index}] {first_line[:70]}")
+    accumulator = result.study.datasets["day-log"].streaks
+    print("(paper's longest at w=30 was 169)")
+    if accumulator.chains:
+        # The accumulator keeps full member positions only for streaks
+        # still relevant at the stream boundaries (that bound is what
+        # makes it mergeable); peek into the longest retained one.
+        retained = max(accumulator.chains, key=lambda chain: chain.length)
+        print(f"A retained {retained.length}-member streak's first members:")
+        for index in retained.positions[:3]:
+            first_line = log[index].splitlines()[0]
+            print(f"  [{index}] {first_line[:70]}")
 
     print("\nWindow-size sweep (paper: larger windows → longer streaks):")
     print(f"{'window':>7} {'#streaks':>9} {'longest':>8}")

@@ -1,4 +1,8 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+Paper mapping: the command-line surface over every reproduced table and
+figure (`repro --help`).
+"""
 
 import sys
 

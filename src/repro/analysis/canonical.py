@@ -53,6 +53,7 @@ def _equality_classes(pattern: Optional[ast.Pattern]) -> Dict[Term, Term]:
     parent: Dict[Term, Term] = {}
 
     def find(term: Term) -> Term:
+        """Union-find root of *term*, with path compression."""
         root = term
         while parent.get(root, root) != root:
             root = parent[root]
@@ -61,6 +62,7 @@ def _equality_classes(pattern: Optional[ast.Pattern]) -> Dict[Term, Term]:
         return root
 
     def union(a: Term, b: Term) -> None:
+        """Union the equivalence classes of *a* and *b*."""
         root_a, root_b = find(a), find(b)
         if root_a != root_b:
             parent[root_a] = root_b
@@ -100,6 +102,7 @@ def canonical_graph(
     )
 
     def rep(term: Term) -> Term:
+        """Canonical representative of *term* under ``SameTerm`` merging."""
         return representatives.get(term, term)
 
     graph = Multigraph()
@@ -135,11 +138,13 @@ class Hypergraph:
     edges: List[FrozenSet[Term]] = field(default_factory=list)
 
     def add_edge(self, edge: FrozenSet[Term]) -> None:
+        """Add a hyperedge (duplicates collapse; supersets absorb)."""
         if edge:
             self.edges.append(edge)
             self.nodes |= edge
 
     def distinct_edges(self) -> List[FrozenSet[Term]]:
+        """The edges with subset-dominated duplicates removed."""
         seen: Set[FrozenSet[Term]] = set()
         unique: List[FrozenSet[Term]] = []
         for edge in self.edges:

@@ -24,6 +24,9 @@ The cache is a bounded LRU (:data:`DEFAULT_STRUCTURE_CACHE_SIZE`
 entries), so a per-worker cache adds O(capacity) memory and preserves
 the O(workers × chunk) ingestion-memory invariant of
 :mod:`repro.analysis.parallel`.
+
+Paper mapping: shared derivation layer under every measurement pass
+(Tables 2-5, Figures 1/5, secs 4-7).
 """
 
 from __future__ import annotations
@@ -47,6 +50,7 @@ from .graphutil import Multigraph
 from .hypertree import hypertree_width
 from .operators import OperatorClassification, classify_operators
 from .shapes import ShapeProfile, classify_shape
+from .streaks import DEFAULT_STREAK_THRESHOLD, DEFAULT_STREAK_WINDOW
 from .treewidth import treewidth
 
 __all__ = [
@@ -81,7 +85,8 @@ class AnalysisOptions:
     cache (results are identical either way — the cache is transparent).
     """
 
-    #: Pass names to run, in registry order; ``None`` = all passes.
+    #: Pass names to run, in registry order; ``None`` = all *per-query*
+    #: passes (sequence passes such as ``streaks`` are opt-in by name).
     metrics: Optional[Tuple[str, ...]] = None
     #: Queries whose canonical graph exceeds this node count skip the
     #: structure pass (and are counted in ``shape_limit_skipped``).
@@ -90,6 +95,10 @@ class AnalysisOptions:
     cache_size: int = DEFAULT_STRUCTURE_CACHE_SIZE
     #: Collect per-pass wall time and cache-hit statistics.
     profile: bool = False
+    #: Streak lookbehind window for the ``streaks`` sequence pass (§8).
+    streak_window: int = DEFAULT_STREAK_WINDOW
+    #: Normalized-Levenshtein similarity threshold for streaks.
+    streak_threshold: float = DEFAULT_STREAK_THRESHOLD
 
 
 #: Default options instance shared by every driver entry point.
@@ -120,6 +129,7 @@ def graph_signature(graph: Multigraph) -> Tuple:
     ids: Dict[object, Tuple[int, str]] = {}
 
     def nid(node: object) -> Tuple[int, str]:
+        """First-appearance id and kind tag of *node*."""
         entry = ids.get(node)
         if entry is None:
             entry = ids[node] = (len(ids), _node_kind(node))
@@ -206,12 +216,14 @@ class StructureCache:
 
     @property
     def enabled(self) -> bool:
+        """Whether the cache stores anything (capacity > 0)."""
         return self.capacity > 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, key: Tuple) -> Optional[object]:
+        """The entry under *key*, bumping its recency; ``None`` on miss."""
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -221,6 +233,7 @@ class StructureCache:
         return entry
 
     def put(self, key: Tuple, entry: object) -> None:
+        """Store *entry* under *key*, evicting least-recently-used."""
         self._entries[key] = entry
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
@@ -305,24 +318,28 @@ class AnalysisContext:
 
     @property
     def features(self) -> QueryFeatures:
+        """Shallow features of the query (Tables 1/2, Figure 1)."""
         if self._features is _UNSET:
             self._features = extract_features(self.query)
         return self._features
 
     @property
     def operators(self) -> OperatorClassification:
+        """Operator-set classification of the query (Table 3)."""
         if self._operators is _UNSET:
             self._operators = classify_operators(self.query)
         return self._operators
 
     @property
     def fragments(self) -> FragmentProfile:
+        """Fragment memberships of the query (sec 5.2)."""
         if self._fragments is _UNSET:
             self._fragments = classify_fragments(self.query)
         return self._fragments
 
     @property
     def predicate_variable(self) -> bool:
+        """Whether any triple pattern has a variable predicate (sec 6.2)."""
         if self._predicate_variable is _UNSET:
             self._predicate_variable = has_predicate_variable(self.query.pattern)
         return self._predicate_variable
@@ -343,6 +360,7 @@ class AnalysisContext:
 
     @property
     def hypergraph(self) -> Hypergraph:
+        """The canonical hypergraph, memoized (sec 6.2)."""
         if self._hypergraph is _UNSET:
             self._hypergraph = canonical_hypergraph(self.query.pattern)
         return self._hypergraph

@@ -51,6 +51,7 @@ class QueryFeatures:
     uses_projection: Optional[bool]
 
     def is_select_or_ask(self) -> bool:
+        """Whether the query form is SELECT or ASK (the paper's S/A gate)."""
         return self.query_type in (ast.QueryType.SELECT, ast.QueryType.ASK)
 
 

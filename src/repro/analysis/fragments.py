@@ -131,6 +131,7 @@ class FragmentProfile:
     is_cqof: bool
 
     def in_any_cq_like(self) -> bool:
+        """Whether the pattern is in at least one CQ-like fragment."""
         return self.is_cq or self.is_cqf or self.is_cqof
 
 

@@ -32,9 +32,11 @@ class Multigraph:
     # Construction
     # ------------------------------------------------------------------
     def add_node(self, node: Node) -> None:
+        """Ensure *node* exists (isolated nodes are legal)."""
         self._adjacency[node]  # touch to create
 
     def add_edge(self, u: Node, v: Node) -> None:
+        """Add one undirected edge (parallel edges accumulate)."""
         if u == v:
             self._adjacency[u]
             self._loops[u] += 1
@@ -44,6 +46,7 @@ class Multigraph:
         self._edge_count += 1
 
     def copy(self) -> "Multigraph":
+        """An independent deep copy of the multigraph."""
         clone = Multigraph()
         for node in self._adjacency:
             clone.add_node(node)
@@ -56,9 +59,11 @@ class Multigraph:
     # Basic accessors
     # ------------------------------------------------------------------
     def nodes(self) -> List[Node]:
+        """All nodes, in insertion order."""
         return list(self._adjacency)
 
     def node_count(self) -> int:
+        """Number of nodes."""
         return len(self._adjacency)
 
     def edge_count(self) -> int:
@@ -66,6 +71,7 @@ class Multigraph:
         return self._edge_count
 
     def has_node(self, node: Node) -> bool:
+        """Whether *node* is present."""
         return node in self._adjacency
 
     def neighbors(self, node: Node) -> List[Node]:
@@ -73,11 +79,13 @@ class Multigraph:
         return list(self._adjacency[node])
 
     def multiplicity(self, u: Node, v: Node) -> int:
+        """Number of parallel edges between *u* and *v*."""
         if u == v:
             return self._loops[u]
         return self._adjacency[u][v]
 
     def loops_at(self, node: Node) -> int:
+        """Number of self-loops at *node*."""
         return self._loops[node]
 
     def degree(self, node: Node) -> int:
@@ -103,9 +111,11 @@ class Multigraph:
                 yield node, node, loops
 
     def has_loops(self) -> bool:
+        """Whether any node has a self-loop."""
         return any(count > 0 for count in self._loops.values())
 
     def has_parallel_edges(self) -> bool:
+        """Whether any node pair is joined by more than one edge."""
         return any(
             multiplicity > 1
             for u, v, multiplicity in self.edge_triples()
@@ -113,12 +123,14 @@ class Multigraph:
         )
 
     def is_simple(self) -> bool:
+        """Whether the graph has neither loops nor parallel edges."""
         return not self.has_loops() and not self.has_parallel_edges()
 
     # ------------------------------------------------------------------
     # Derived structure
     # ------------------------------------------------------------------
     def connected_components(self) -> List[Set[Node]]:
+        """The connected components, as node sets in discovery order."""
         remaining = set(self._adjacency)
         components: List[Set[Node]] = []
         while remaining:
@@ -136,11 +148,13 @@ class Multigraph:
         return components
 
     def is_connected(self) -> bool:
+        """Whether the graph is connected (empty graphs count as connected)."""
         if not self._adjacency:
             return True
         return len(self.connected_components()) == 1
 
     def induced_subgraph(self, nodes: Iterable[Node]) -> "Multigraph":
+        """The subgraph induced by *nodes* (edges within the set only)."""
         node_set = set(nodes)
         sub = Multigraph()
         for node in node_set:

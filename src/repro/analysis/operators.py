@@ -76,6 +76,7 @@ class OperatorClassification:
 
     @property
     def letters(self) -> FrozenSet[str]:
+        """The operator set as paper letters (A, F, O, U, G)."""
         return frozenset(OPERATOR_LETTERS[op] for op in self.operators)
 
     def is_cpf(self) -> bool:

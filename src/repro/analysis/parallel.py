@@ -55,8 +55,13 @@ from typing import (
 
 from ..logs.pipeline import LogShard, ParseCache, ParsedQuery, QueryLog, process_entries
 from .context import DEFAULT_OPTIONS, AnalysisOptions, StructureCache
-from .passes import PassProfile, resolve_passes, run_passes
-from .study import CorpusStudy, DatasetStats
+from .passes import (
+    PassProfile,
+    resolve_passes,
+    resolve_sequence_passes,
+    run_passes,
+)
+from .study import CorpusStudy, DatasetStats, _claim_streaks
 
 __all__ = [
     "DEFAULT_STREAM_CHUNK_SIZE",
@@ -140,13 +145,34 @@ def _init_parse_worker() -> None:
     _WORKER_PARSE_CACHE = ParseCache()
 
 
+def _attach_sequences(
+    shard: LogShard, texts: List[str], options: Optional[AnalysisOptions]
+) -> LogShard:
+    """Feed this chunk's *raw* texts, in order, to every selected
+    sequence pass and hang the accumulators on the shard.
+
+    Sequence passes (streak detection) must see the stream *before*
+    deduplication — duplicate entries are exactly what streaks are made
+    of — so they ride the ingestion chunks, not the measure phase.
+    """
+    if options is None:
+        return shard
+    for sequence_pass in resolve_sequence_passes(options.metrics):
+        accumulator = sequence_pass.start(options)
+        for text in texts:
+            accumulator.push(text)
+        shard.sequences[sequence_pass.name] = accumulator
+    return shard
+
+
 def _parse_chunk(
-    payload: Tuple[str, List[str], Optional[Dict[str, str]]],
+    payload: Tuple[str, List[str], Optional[Dict[str, str]], Optional[AnalysisOptions]],
 ) -> Tuple[str, LogShard]:
-    name, texts, extra_prefixes = payload
-    return name, process_entries(
+    name, texts, extra_prefixes, options = payload
+    shard = process_entries(
         texts, extra_prefixes=extra_prefixes, cache=_WORKER_PARSE_CACHE
     )
+    return name, _attach_sequences(shard, texts, options)
 
 
 #: Per-worker structural-signature cache, created by the pool
@@ -374,6 +400,7 @@ def build_query_logs_parallel(
     *,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    options: Optional[AnalysisOptions] = None,
 ) -> Dict[str, QueryLog]:
     """Streaming clean → parse → dedup over a whole corpus of raw logs.
 
@@ -383,14 +410,26 @@ def build_query_logs_parallel(
     way the stream is chunked lazily and consumed with bounded
     in-flight chunks.  Per dataset, shards are merged in stream order:
     the result is identical to the serial pipeline.
+
+    *options* selects sequence passes (``metrics`` containing
+    ``streaks``): each chunk then also feeds its raw texts, in order,
+    to a per-chunk :class:`~repro.analysis.streaks.StreakAccumulator`,
+    and the chunk accumulators are stitched in stream order onto
+    ``QueryLog.sequences`` — byte-identical to a serial scan of the
+    whole log.
     """
     workers = resolve_workers(workers)
     size = _resolve_chunk_size(chunk_size, corpora, workers)
+    if options is not None and not resolve_sequence_passes(options.metrics):
+        options = None  # nothing order-aware to compute; keep payloads lean
 
-    def payloads() -> Iterator[Tuple[str, List[str], Optional[Dict[str, str]]]]:
+    def payloads() -> Iterator[
+        Tuple[str, List[str], Optional[Dict[str, str]], Optional[AnalysisOptions]]
+    ]:
+        """Lazily yield (dataset, chunk, prefixes, options) payloads."""
         for name, texts in corpora.items():
             for chunk in iter_chunks(texts, size):
-                yield (name, chunk, extra_prefixes)
+                yield (name, chunk, extra_prefixes, options)
 
     if workers == 1:
         # In-process: share one run-local parse cache across all chunks
@@ -400,8 +439,10 @@ def build_query_logs_parallel(
         cache = ParseCache()
 
         def parse_chunk(payload):
-            name, texts, prefixes = payload
-            return name, process_entries(texts, extra_prefixes=prefixes, cache=cache)
+            """Parse one chunk in-process, sharing the run-local cache."""
+            name, texts, prefixes, chunk_options = payload
+            shard = process_entries(texts, extra_prefixes=prefixes, cache=cache)
+            return name, _attach_sequences(shard, texts, chunk_options)
 
         worker_fn, initializer = parse_chunk, None
     else:
@@ -412,6 +453,15 @@ def build_query_logs_parallel(
         worker_fn, payloads(), workers, initializer=initializer
     ):
         merged[name].merge(shard)
+    if options is not None:
+        # An empty corpus yields zero chunks and therefore no worker-built
+        # accumulators; selected sequence metrics must still come back as
+        # (empty) state, exactly like a serial scan of an empty stream.
+        for shard in merged.values():
+            for sequence_pass in resolve_sequence_passes(options.metrics):
+                shard.sequences.setdefault(
+                    sequence_pass.name, sequence_pass.start(options)
+                )
     return {name: shard.to_query_log(name) for name, shard in merged.items()}
 
 
@@ -422,6 +472,7 @@ def build_query_log_parallel(
     *,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    options: Optional[AnalysisOptions] = None,
 ) -> QueryLog:
     """Streaming clean → parse → dedup, identical to the serial pipeline."""
     logs = build_query_logs_parallel(
@@ -429,6 +480,7 @@ def build_query_log_parallel(
         extra_prefixes,
         workers=workers,
         chunk_size=chunk_size,
+        options=options,
     )
     return logs[name]
 
@@ -462,8 +514,12 @@ def study_corpus_parallel(
         total = sum(log.unique for log in logs.values())
         size = default_chunk_size(total, workers)
     for name, log in logs.items():
+        # The sequence accumulators (like the Table 1 counters) were
+        # computed at ingestion over the whole ordered stream; worker
+        # shards carry none, so merging never double-counts them.
         study.datasets[name] = DatasetStats(
-            name=name, total=log.total, valid=log.valid, unique=log.unique
+            name=name, total=log.total, valid=log.valid, unique=log.unique,
+            streaks=_claim_streaks(name, log),
         )
     initializer = partial(_init_measure_worker, options)
 
@@ -472,6 +528,7 @@ def study_corpus_parallel(
         # workers read the logs from inherited memory — no pickling of
         # AST chunks into the pool, only the small partial studies back.
         def slice_payloads() -> Iterator[Tuple[str, int, int, bool, AnalysisOptions]]:
+            """Lazily yield (dataset, start, stop) index-slice payloads."""
             for name, log in logs.items():
                 for start in range(0, log.unique, size):
                     yield (name, start, min(start + size, log.unique), dedup, options)
@@ -496,6 +553,7 @@ def study_corpus_parallel(
         run_cache = StructureCache(options.cache_size)
 
         def measure_payload(payload):
+            """Measure one chunk in-process, sharing the run-local cache."""
             name, chunk, payload_dedup, payload_options = payload
             return measure_chunk(
                 name, chunk, dedup=payload_dedup, options=payload_options,
@@ -507,6 +565,7 @@ def study_corpus_parallel(
         worker_fn = _measure_chunk
 
     def payloads() -> Iterator[Tuple[str, List[ParsedQuery], bool, AnalysisOptions]]:
+        """Lazily yield (dataset, chunk, dedup, options) payloads."""
         for name, log in logs.items():
             for chunk in iter_chunks(log.unique_queries(), size):
                 yield (name, chunk, dedup, options)

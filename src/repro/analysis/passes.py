@@ -37,6 +37,7 @@ from ..sparql.serializer import serialize_path
 from .context import DEFAULT_OPTIONS, AnalysisContext, AnalysisOptions, StructureCache
 from .operators import TABLE3_ROWS
 from .property_paths import classify_path
+from .streaks import StreakAccumulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .study import CorpusStudy, DatasetStats
@@ -44,10 +45,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "NON_CTRACT_LIMIT",
     "PASS_NAMES",
+    "SEQUENCE_PASS_NAMES",
     "AnalysisPass",
     "PassProfile",
+    "SequencePass",
+    "StreaksPass",
     "default_passes",
     "resolve_passes",
+    "resolve_sequence_passes",
     "run_passes",
 ]
 
@@ -83,6 +88,7 @@ class ShallowPass:
     name = "shallow"
 
     def run(self, study, stats, ctx) -> None:
+        """Count keywords, triples, subqueries and projection use."""
         features = ctx.features
         weight = ctx.weight
         study.query_count += weight
@@ -117,6 +123,7 @@ class PathsPass:
     name = "paths"
 
     def run(self, study, stats, ctx) -> None:
+        """Classify every property path of the unstripped query."""
         weight = ctx.weight
         for node in walk.iter_path_patterns(ctx.raw_query.pattern):
             study.property_path_total += weight
@@ -143,6 +150,7 @@ class OperatorsPass:
     name = "operators"
 
     def run(self, study, stats, ctx) -> None:
+        """Classify the query's operator set (Select/Ask only)."""
         if not ctx.features.is_select_or_ask():
             return
         weight = ctx.weight
@@ -163,6 +171,7 @@ class FragmentsPass:
     name = "fragments"
 
     def run(self, study, stats, ctx) -> None:
+        """Record fragment memberships and CQ-like size histograms."""
         if not ctx.features.is_select_or_ask():
             return
         fragments = ctx.fragments
@@ -203,6 +212,7 @@ class StructurePass:
     name = "structure"
 
     def run(self, study, stats, ctx) -> None:
+        """Measure shapes, treewidth, girth and hypertree widths."""
         if not ctx.features.is_select_or_ask():
             return
         fragments = ctx.fragments
@@ -244,6 +254,48 @@ class StructurePass:
             study.girth_hist[result.profile.shortest_cycle] += weight
 
 
+class SequencePass(Protocol):
+    """A measurement over the *ordered* query stream (paper §8).
+
+    Per-query passes see one memoized context at a time and may not
+    depend on stream position; a sequence pass is the opposite kind: it
+    consumes the raw entry stream in order, with bounded lookbehind,
+    through a mergeable accumulator.  :meth:`start` creates the
+    per-chunk accumulator; the drivers feed every entry of the chunk to
+    ``accumulator.push`` and stitch chunk accumulators together with
+    ``accumulator.merge`` in stream order, so sharded and streamed runs
+    reproduce the serial scan exactly.
+
+    Sequence passes run during *ingestion* (the ordered stream no
+    longer exists after deduplication) and their results travel on
+    ``LogShard.sequences`` → ``QueryLog.sequences`` →
+    ``DatasetStats.streaks``.
+    """
+
+    #: Registry key, part of the ``--metrics`` vocabulary.
+    name: str
+
+    def start(self, options: AnalysisOptions) -> StreakAccumulator:
+        """A fresh accumulator for one chunk of the ordered stream."""
+        ...
+
+
+class StreaksPass:
+    """Streak detection (Table 6) as a mergeable sequence pass.
+
+    Opt-in (``--metrics streaks``): the paper calls streak discovery
+    "extremely resource-consuming", so it never rides along silently.
+    """
+
+    name = "streaks"
+
+    def start(self, options: AnalysisOptions) -> StreakAccumulator:
+        """A fresh accumulator with the run's window/threshold."""
+        return StreakAccumulator(
+            window=options.streak_window, threshold=options.streak_threshold
+        )
+
+
 #: The ordered default pipeline.  Order is documentation (it mirrors
 #: the paper's sections); correctness does not depend on it because
 #: passes own disjoint counters.
@@ -255,29 +307,61 @@ _REGISTRY: "Dict[str, AnalysisPass]" = {
 #: Registry order, the vocabulary of ``--metrics``.
 PASS_NAMES: Tuple[str, ...] = tuple(_REGISTRY)
 
+#: Sequence passes, also selectable via ``--metrics`` — but opt-in:
+#: ``metrics=None`` means every per-query pass and *no* sequence pass.
+_SEQUENCE_REGISTRY: "Dict[str, SequencePass]" = {p.name: p for p in (StreaksPass(),)}
+
+SEQUENCE_PASS_NAMES: Tuple[str, ...] = tuple(_SEQUENCE_REGISTRY)
+
 
 def default_passes() -> Tuple[AnalysisPass, ...]:
     """The full default pipeline, in registry order."""
     return tuple(_REGISTRY.values())
 
 
+def _check_known(metrics: Iterable[str]) -> set:
+    requested = set(metrics)
+    unknown = requested - set(PASS_NAMES) - set(SEQUENCE_PASS_NAMES)
+    if unknown:
+        raise ValueError(
+            f"unknown metrics: {', '.join(sorted(unknown))} "
+            f"(available: {', '.join(PASS_NAMES + SEQUENCE_PASS_NAMES)})"
+        )
+    return requested
+
+
 def resolve_passes(metrics: Optional[Iterable[str]]) -> Tuple[AnalysisPass, ...]:
-    """Resolve a ``--metrics`` selection to pass instances.
+    """Resolve a ``--metrics`` selection to *per-query* pass instances.
 
     ``None`` (or selecting everything) is the default pipeline.  The
     selection is normalized to registry order so output never depends
     on how the user spelled it; unknown names raise ``ValueError``.
+    Sequence-pass names (``streaks``) are accepted and skipped here —
+    :func:`resolve_sequence_passes` is their half of the split.
     """
     if metrics is None:
         return default_passes()
-    requested = set(metrics)
-    unknown = requested - set(PASS_NAMES)
-    if unknown:
-        raise ValueError(
-            f"unknown metrics: {', '.join(sorted(unknown))} "
-            f"(available: {', '.join(PASS_NAMES)})"
-        )
+    requested = _check_known(metrics)
     return tuple(_REGISTRY[name] for name in PASS_NAMES if name in requested)
+
+
+def resolve_sequence_passes(
+    metrics: Optional[Iterable[str]],
+) -> Tuple[SequencePass, ...]:
+    """The sequence passes a ``--metrics`` selection opts into.
+
+    ``None`` — the default pipeline — selects none: sequence passes run
+    only when named explicitly, because they scan the full ordered
+    stream during ingestion.
+    """
+    if metrics is None:
+        return ()
+    requested = _check_known(metrics)
+    return tuple(
+        _SEQUENCE_REGISTRY[name]
+        for name in SEQUENCE_PASS_NAMES
+        if name in requested
+    )
 
 
 @dataclass
@@ -296,6 +380,7 @@ class PassProfile:
     cache_misses: int = 0
 
     def merge(self, other: "PassProfile") -> "PassProfile":
+        """Fold another profile's timings and cache stats into this one."""
         for name, elapsed in other.seconds.items():
             self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
         self.queries += other.queries
@@ -305,10 +390,12 @@ class PassProfile:
 
     @property
     def total_seconds(self) -> float:
+        """Total wall time across all passes."""
         return sum(self.seconds.values())
 
     @property
     def cache_hit_rate(self) -> float:
+        """Structural-cache hit rate over all lookups (0.0 when none)."""
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 

@@ -60,6 +60,7 @@ SHAPE_ORDER = (
 
 
 def is_single_edge(graph: Multigraph) -> bool:
+    """Whether the graph is one edge (possibly a loop), Table 4 row 1."""
     return (
         graph.edge_count() == 1
         and graph.node_count() == 2
@@ -86,6 +87,7 @@ def is_chain(graph: Multigraph) -> bool:
 
 
 def is_chain_set(graph: Multigraph) -> bool:
+    """Whether every component is a chain."""
     return all(
         is_chain(graph.induced_subgraph(component))
         for component in graph.connected_components()
@@ -93,6 +95,7 @@ def is_chain_set(graph: Multigraph) -> bool:
 
 
 def is_tree(graph: Multigraph) -> bool:
+    """Whether the graph is a single tree."""
     if not graph.is_connected():
         return False
     if graph.node_count() == 0:
@@ -101,6 +104,7 @@ def is_tree(graph: Multigraph) -> bool:
 
 
 def is_forest(graph: Multigraph) -> bool:
+    """Whether every component is a tree."""
     return graph.is_acyclic_simple()
 
 
@@ -231,6 +235,7 @@ def _attachment_without_core_loops(
 
 
 def is_flower_set(graph: Multigraph) -> bool:
+    """Whether every component is a flower (petals + external chains)."""
     return all(
         is_flower(graph.induced_subgraph(component))
         for component in graph.connected_components()
@@ -254,6 +259,7 @@ class ShapeProfile:
     shortest_cycle: Optional[int]
 
     def as_dict(self) -> Dict[str, bool]:
+        """The shape memberships as an ordered name -> bool mapping."""
         return {
             "single edge": self.single_edge,
             "chain": self.chain,

@@ -43,9 +43,11 @@ from typing import Any, Dict, List, Union
 
 from ..exceptions import StudySnapshotError
 from .passes import PassProfile
+from .streaks import StreakAccumulator, _Chain
 from .study import CorpusStudy, DatasetStats
 
 __all__ = [
+    "COMPATIBLE_SCHEMA_VERSIONS",
     "SCHEMA_VERSION",
     "STUDY_KIND",
     "load_study",
@@ -54,13 +56,20 @@ __all__ = [
     "save_study",
     "stats_from_dict",
     "stats_to_dict",
+    "streaks_from_dict",
+    "streaks_to_dict",
     "study_from_dict",
     "study_to_dict",
 ]
 
 #: Version of the snapshot layout.  Bump on any incompatible change
 #: and teach :func:`study_from_dict` to migrate — or to refuse loudly.
-SCHEMA_VERSION = 1
+#: Version 2 added the per-dataset ``streaks`` accumulator (Table 6).
+SCHEMA_VERSION = 2
+
+#: Versions :func:`study_from_dict` can read.  Version 1 predates the
+#: streak accumulator: its datasets load with ``streaks = None``.
+COMPATIBLE_SCHEMA_VERSIONS = (1, SCHEMA_VERSION)
 
 #: The ``kind`` header of a corpus-study snapshot.
 STUDY_KIND = "repro.corpus_study"
@@ -126,6 +135,93 @@ def _require_int(data: Dict[str, Any], key: str, where: str) -> int:
 
 
 # ---------------------------------------------------------------------------
+# StreakAccumulator
+# ---------------------------------------------------------------------------
+
+
+def streaks_to_dict(accumulator: StreakAccumulator) -> Dict[str, Any]:
+    """Serialize streak-detection state in canonical form.
+
+    The accumulator itself produces the canonical layout (chains in
+    founding order, ``closed`` pairs sorted by length), so serial and
+    stitched runs of the same stream serialize to identical bytes."""
+    return accumulator.to_dict()
+
+
+def streaks_from_dict(data: Any, where: str) -> StreakAccumulator:
+    """Rebuild a :class:`StreakAccumulator`; raises on malformed input."""
+    if not isinstance(data, dict):
+        raise StudySnapshotError(f"{where}: expected an object")
+    window = _require_int(data, "window", where)
+    if window < 1:
+        raise StudySnapshotError(f"{where}: 'window' must be >= 1")
+    threshold = _require(data, "threshold", where)
+    if not isinstance(threshold, (int, float)) or isinstance(threshold, bool):
+        raise StudySnapshotError(f"{where}: 'threshold' is not a number")
+    if not 0.0 <= float(threshold) <= 1.0:  # also rejects NaN
+        raise StudySnapshotError(
+            f"{where}: 'threshold' must be within [0, 1], got {threshold!r}"
+        )
+    accumulator = StreakAccumulator(window=window, threshold=float(threshold))
+    length = _require_int(data, "length", where)
+    if length < 0:
+        raise StudySnapshotError(f"{where}: 'length' must be >= 0")
+    accumulator.length = length
+    head = _require(data, "head", where)
+    if not isinstance(head, list) or not all(isinstance(t, str) for t in head):
+        raise StudySnapshotError(f"{where}: 'head' must be a string list")
+    if len(head) != min(window, length):
+        raise StudySnapshotError(
+            f"{where}: 'head' must hold min(window, length) = "
+            f"{min(window, length)} texts, got {len(head)}"
+        )
+    accumulator.head = list(head)
+    chains = _require(data, "chains", where)
+    if not isinstance(chains, list):
+        raise StudySnapshotError(f"{where}: 'chains' must be a list")
+    for entry in chains:
+        if not isinstance(entry, dict):
+            raise StudySnapshotError(f"{where}: malformed chain {entry!r}")
+        positions = _require(entry, "positions", f"{where}.chains")
+        tail = _require(entry, "tail", f"{where}.chains")
+        if (
+            not isinstance(positions, list)
+            or not positions
+            or not all(
+                isinstance(p, int) and not isinstance(p, bool) for p in positions
+            )
+            or not isinstance(tail, str)
+        ):
+            raise StudySnapshotError(f"{where}: malformed chain {entry!r}")
+        # Cross-field invariants the merge arithmetic relies on: member
+        # positions are strictly increasing stream indices inside the
+        # consumed stream.  A snapshot violating them must fail here,
+        # not as wrong Table 6 numbers after a later merge.
+        if positions[0] < 0 or positions[-1] >= length or any(
+            later <= earlier for earlier, later in zip(positions, positions[1:])
+        ):
+            raise StudySnapshotError(
+                f"{where}: chain positions {positions!r} are not strictly "
+                f"increasing indices below length {length}"
+            )
+        accumulator.chains.append(_Chain(positions=list(positions), tail=tail))
+    closed = _decode_counter(_require(data, "closed", where), f"{where}.closed")
+    for streak_length, count in closed.items():
+        if not isinstance(streak_length, int) or streak_length < 1:
+            raise StudySnapshotError(
+                f"{where}: closed-streak length {streak_length!r} is not a "
+                "positive int"
+            )
+        if count < 0:
+            raise StudySnapshotError(
+                f"{where}: closed-streak count for length {streak_length} "
+                "is negative"
+            )
+    accumulator.closed = closed
+    return accumulator
+
+
+# ---------------------------------------------------------------------------
 # DatasetStats
 # ---------------------------------------------------------------------------
 
@@ -135,7 +231,9 @@ def stats_to_dict(stats: DatasetStats) -> Dict[str, Any]:
     data: Dict[str, Any] = {}
     for field_info in fields(DatasetStats):
         value = getattr(stats, field_info.name)
-        if isinstance(value, Counter):
+        if field_info.name == "streaks":
+            data[field_info.name] = None if value is None else streaks_to_dict(value)
+        elif isinstance(value, Counter):
             data[field_info.name] = _encode_counter(value)
         elif isinstance(value, (int, str)):
             data[field_info.name] = value
@@ -158,6 +256,13 @@ def stats_from_dict(data: Any) -> DatasetStats:
     stats = DatasetStats(name=name)
     for field_info in fields(DatasetStats):
         if field_info.name == "name":
+            continue
+        if field_info.name == "streaks":
+            # .get, not _require: schema-1 snapshots predate streaks and
+            # load as None (see COMPATIBLE_SCHEMA_VERSIONS).
+            streaks_data = data.get("streaks")
+            if streaks_data is not None:
+                stats.streaks = streaks_from_dict(streaks_data, f"{where}.streaks")
             continue
         template = getattr(stats, field_info.name)
         if isinstance(template, Counter):
@@ -190,6 +295,7 @@ def profile_to_dict(profile: PassProfile) -> Dict[str, Any]:
 
 
 def profile_from_dict(data: Any) -> PassProfile:
+    """Rebuild a :class:`PassProfile`; raises on malformed input."""
     if not isinstance(data, dict):
         raise StudySnapshotError("pass profile: expected an object")
     seconds = _require(data, "seconds", "pass profile")
@@ -275,10 +381,11 @@ def study_from_dict(data: Any) -> CorpusStudy:
     if not isinstance(data, dict):
         raise StudySnapshotError("study snapshot: expected a JSON object")
     schema = data.get("schema")
-    if schema != SCHEMA_VERSION:
+    if schema not in COMPATIBLE_SCHEMA_VERSIONS:
+        supported = ", ".join(str(v) for v in COMPATIBLE_SCHEMA_VERSIONS)
         raise StudySnapshotError(
             f"study snapshot: unsupported schema version {schema!r} "
-            f"(this build reads version {SCHEMA_VERSION})"
+            f"(this build reads versions {supported})"
         )
     kind = data.get("kind")
     if kind != STUDY_KIND:

@@ -21,21 +21,33 @@ ablation-tested optimization).
 from __future__ import annotations
 
 import re
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
-    "levenshtein",
-    "strip_prefixes",
-    "queries_similar",
-    "Streak",
-    "StreakDetector",
-    "find_streaks",
-    "streak_length_histogram",
+    "BUCKET_LABELS",
+    "DEFAULT_STREAK_THRESHOLD",
+    "DEFAULT_STREAK_WINDOW",
     "STREAK_BUCKETS",
+    "Streak",
+    "StreakAccumulator",
+    "StreakDetector",
+    "bucket_label",
+    "find_streaks",
+    "levenshtein",
+    "queries_similar",
+    "streak_length_histogram",
+    "strip_prefixes",
+    "stripped_similar",
 ]
 
 _BODY_START_RE = re.compile(r"\b(SELECT|ASK|CONSTRUCT|DESCRIBE)\b", re.IGNORECASE)
+
+#: The paper's streak parameters (§8): lookbehind window of 30 log
+#: positions, normalized Levenshtein distance at most 25%.
+DEFAULT_STREAK_WINDOW = 30
+DEFAULT_STREAK_THRESHOLD = 0.25
 
 #: Table 6 row buckets: (low, high) inclusive; None = unbounded.
 STREAK_BUCKETS: Tuple[Tuple[int, Optional[int]], ...] = (
@@ -43,6 +55,20 @@ STREAK_BUCKETS: Tuple[Tuple[int, Optional[int]], ...] = (
     (51, 60), (61, 70), (71, 80), (81, 90), (91, 100),
     (101, None),
 )
+
+#: Table 6 bucket labels, in row order ("1-10", …, ">100").
+BUCKET_LABELS: Tuple[str, ...] = tuple(
+    f"{low}-{high}" if high is not None else f">{low - 1}"
+    for low, high in STREAK_BUCKETS
+)
+
+
+def bucket_label(length: int) -> str:
+    """The Table 6 row a streak of *length* members falls into."""
+    for (low, high), label in zip(STREAK_BUCKETS, BUCKET_LABELS):
+        if length >= low and (high is None or length <= high):
+            return label
+    raise ValueError(f"streak length must be >= 1, got {length}")
 
 
 def strip_prefixes(query_text: str) -> str:
@@ -145,18 +171,31 @@ def _levenshtein_banded(a: str, b: str, k: int) -> Optional[int]:
     return distance if distance <= k else None
 
 
-def queries_similar(
-    text_a: str, text_b: str, threshold: float = 0.25
+def stripped_similar(
+    stripped_a: str, stripped_b: str, threshold: float = DEFAULT_STREAK_THRESHOLD
 ) -> bool:
-    """The paper's similarity test (prefix-stripped, ≤ 25% edits)."""
-    stripped_a = strip_prefixes(text_a)
-    stripped_b = strip_prefixes(text_b)
+    """The similarity test on already prefix-stripped texts.
+
+    The single definition shared by :class:`StreakDetector` and
+    :class:`StreakAccumulator` — both must agree on every pair, or
+    sharded detection could diverge from the serial scan.
+    """
+    if stripped_a == stripped_b:
+        return True  # exact repeats are common in real logs
     longest = max(len(stripped_a), len(stripped_b))
     if longest == 0:
         return True
     budget = int(longest * threshold)
-    distance = levenshtein(stripped_a, stripped_b, max_distance=budget)
-    return distance is not None
+    return levenshtein(stripped_a, stripped_b, max_distance=budget) is not None
+
+
+def queries_similar(
+    text_a: str, text_b: str, threshold: float = DEFAULT_STREAK_THRESHOLD
+) -> bool:
+    """The paper's similarity test (prefix-stripped, ≤ 25% edits)."""
+    return stripped_similar(
+        strip_prefixes(text_a), strip_prefixes(text_b), threshold
+    )
 
 
 @dataclass
@@ -169,14 +208,17 @@ class Streak:
 
     @property
     def length(self) -> int:
+        """Number of member queries."""
         return len(self.indices)
 
     @property
     def start(self) -> int:
+        """Stream position of the first member."""
         return self.indices[0]
 
     @property
     def end(self) -> int:
+        """Stream position of the last member."""
         return self.indices[-1]
 
 
@@ -197,6 +239,7 @@ class StreakDetector:
         self._position = -1
 
     def push(self, query_text: str) -> None:
+        """Feed the next query of the ordered stream."""
         self._position += 1
         position = self._position
         # Retire streaks that fell out of the window.
@@ -226,18 +269,10 @@ class StreakDetector:
             )
 
     def _similar(self, stripped_a: str, stripped_b: str) -> bool:
-        if stripped_a == stripped_b:
-            return True  # exact repeats are common in real logs
-        longest = max(len(stripped_a), len(stripped_b))
-        if longest == 0:
-            return True
-        budget = int(longest * self.threshold)
-        return (
-            levenshtein(stripped_a, stripped_b, max_distance=budget)
-            is not None
-        )
+        return stripped_similar(stripped_a, stripped_b, self.threshold)
 
     def close(self) -> List[Streak]:
+        """Flush still-active streaks and return every streak found."""
         self.finished.extend(self._active)
         self._active = []
         return self.finished
@@ -257,14 +292,329 @@ def streak_length_histogram(
     streaks: Sequence[Streak],
 ) -> Dict[str, int]:
     """Bucket streak lengths into Table 6's rows."""
-    histogram: Dict[str, int] = {}
-    for low, high in STREAK_BUCKETS:
-        label = f"{low}-{high}" if high is not None else f">{low - 1}"
-        histogram[label] = 0
+    histogram: Dict[str, int] = {label: 0 for label in BUCKET_LABELS}
     for streak in streaks:
-        for low, high in STREAK_BUCKETS:
-            if streak.length >= low and (high is None or streak.length <= high):
-                label = f"{low}-{high}" if high is not None else f">{low - 1}"
-                histogram[label] += 1
-                break
+        histogram[bucket_label(streak.length)] += 1
     return histogram
+
+
+# ---------------------------------------------------------------------------
+# Mergeable, order-aware streak accumulation (the sharded Table 6 path)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Chain:
+    """One streak under construction inside a :class:`StreakAccumulator`.
+
+    ``positions`` are stream positions of the members (strictly
+    increasing; the first one is the founder), ``tail`` is the
+    prefix-stripped text of the last member — the only text similarity
+    ever compares against.
+    """
+
+    positions: List[int]
+    tail: str
+
+    @property
+    def start(self) -> int:
+        """Stream position of the founder (first member)."""
+        return self.positions[0]
+
+    @property
+    def end(self) -> int:
+        """Stream position of the last member."""
+        return self.positions[-1]
+
+    @property
+    def length(self) -> int:
+        """Number of member queries."""
+        return len(self.positions)
+
+    def copy(self) -> "_Chain":
+        """An independent deep copy."""
+        return _Chain(positions=list(self.positions), tail=self.tail)
+
+
+class StreakAccumulator:
+    """Mergeable per-chunk state of streak detection (§8, Table 6).
+
+    Streak discovery is the one analysis of the paper that depends on
+    *stream order* with a bounded lookbehind window, which is exactly
+    what a naive chunk split destroys: a streak may span chunk
+    boundaries, and whether a query founds a new streak depends on
+    whether it extended one from the previous chunk.  This accumulator
+    makes the computation mergeable anyway, by keeping three things per
+    chunk:
+
+    * ``head`` — the prefix-stripped texts of the chunk's first
+      ``window`` queries.  An open streak arriving from the left can
+      only be extended by a query within ``window`` positions of its
+      tail, so the head is the complete set of candidates a left-hand
+      neighbour will ever need to inspect.
+    * ``chains`` — explicit records for every streak that is still
+      *open* (its tail is within ``window`` of the chunk end, so queries
+      to the right may extend it) or was *founded in the head region*
+      (a left-hand neighbour's open streak may absorb it: had the
+      streams been one, its founder would have extended that streak
+      instead of founding a new one).
+    * ``closed`` — a length histogram of every other streak, which no
+      amount of stitching on either side can change.
+
+    :meth:`merge` stitches a right-hand accumulator on: each of our open
+    chains scans the right head for its first similar query within
+    window reach; on a hit it absorbs the suffix of whatever chain that
+    query belongs to (all chains containing a query share one suffix
+    from it, because extending sets the same tail), and deletes the
+    absorbed chain if that query *founded* it.  The result is exactly —
+    member positions, tails, histogram, bytes — what the serial
+    detector produces over the concatenated stream, property-tested in
+    ``tests/test_streak_accumulator.py``.
+
+    Canonical form (load-bearing for byte-identical snapshots):
+    ``chains`` is kept sorted by founding position, which is also the
+    serial founding order.
+
+    Memory bound: retained chains store their full member-position
+    lists — the same O(streak length) the serial detector's
+    :class:`Streak` records cost, and negligible for real refinement
+    streaks (the paper's longest was 169).  A pathological stream that
+    is one endless streak (e.g. a bot repeating a single query) keeps
+    that one chain open, and state grows linearly with it; if that
+    ever matters, the lean representation (length/end/tail plus only
+    head-region positions) is a snapshot-schema change, not an
+    algorithm change.
+    """
+
+    __slots__ = ("window", "threshold", "length", "head", "chains", "closed")
+
+    def __init__(
+        self,
+        window: int = DEFAULT_STREAK_WINDOW,
+        threshold: float = DEFAULT_STREAK_THRESHOLD,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.threshold = threshold
+        self.length = 0  # queries consumed so far
+        self.head: List[str] = []
+        self.chains: List[_Chain] = []
+        self.closed: Counter = Counter()  # streak length -> count
+
+    # -- feeding ---------------------------------------------------------
+
+    def push(self, query_text: str) -> None:
+        """Feed the next query of the ordered stream."""
+        stripped = strip_prefixes(query_text)
+        position = self.length
+        self.length += 1
+        if position < self.window:
+            self.head.append(stripped)
+        # Retire chains that fell out of the window (mirrors
+        # StreakDetector.push); head-founded ones stay as records
+        # because a future left-hand merge may still absorb them.
+        extended = False
+        for chain in self.chains:
+            gap = position - chain.end
+            if gap > self.window:
+                continue  # retired (kept or already counted below)
+            if stripped_similar(chain.tail, stripped, self.threshold):
+                chain.positions.append(position)
+                chain.tail = stripped
+                extended = True
+        self._sweep_closed()
+        if not extended:
+            self.chains.append(_Chain(positions=[position], tail=stripped))
+
+    def _sweep_closed(self) -> None:
+        """Move dead, non-head-founded chains into the histogram.
+
+        A chain is dead once the next stream position (``self.length``)
+        is already more than ``window`` past its tail — no future query
+        can extend it — and immutable under stitching unless it was
+        founded in the head region.  Sweeping eagerly keeps the state
+        canonical: a serially-fed accumulator equals the stitched one at
+        every chunk boundary, not just after a final normalization.
+        """
+        kept: List[_Chain] = []
+        for chain in self.chains:
+            if self.length - chain.end > self.window and chain.start >= self.window:
+                self.closed[chain.length] += 1
+            else:
+                kept.append(chain)
+        self.chains = kept
+
+    # -- merging ---------------------------------------------------------
+
+    def copy(self) -> "StreakAccumulator":
+        """An independent deep copy (merge mutates the left side)."""
+        duplicate = StreakAccumulator(self.window, self.threshold)
+        duplicate.length = self.length
+        duplicate.head = list(self.head)
+        duplicate.chains = [chain.copy() for chain in self.chains]
+        duplicate.closed = Counter(self.closed)
+        return duplicate
+
+    def merge(self, other: "StreakAccumulator") -> "StreakAccumulator":
+        """Stitch *other* — the accumulator of the stream slice that
+        directly follows ours — onto this one, in place.
+
+        Exactness argument: once a query q extends a streak, the streak's
+        tail and end equal q's, so every chain containing q evolves
+        identically from q on.  An open chain from the left therefore
+        only needs its *first* similar in-window query on the right —
+        from there its future is the recorded suffix of q's chain.  And
+        a query founds a chain iff it extended nothing, so the only
+        right-hand chains the stitch can delete are those founded by a
+        query that now extends an incoming chain.
+        """
+        if other.window != self.window or other.threshold != self.threshold:
+            raise ValueError(
+                "cannot merge streak accumulators with different "
+                f"window/threshold: ({self.window}, {self.threshold}) vs "
+                f"({other.window}, {other.threshold})"
+            )
+        offset = self.length
+        window = self.window
+
+        # Which right-hand chain does each head position belong to, and
+        # at which member index?  All chains containing a position share
+        # its suffix, so the first (canonical order) is as good as any.
+        position_index: Dict[int, Tuple[_Chain, int]] = {}
+        for chain in other.chains:
+            for index, position in enumerate(chain.positions):
+                if position >= window:
+                    break
+                position_index.setdefault(position, (chain, index))
+
+        # Scan the right head once per incoming open chain.
+        absorbed_founders = set()
+        extensions: List[Tuple[_Chain, int]] = []
+        for chain in self.chains:
+            reach = window - (offset - chain.end)
+            if reach < 0:
+                continue  # retired: no future query can reach it
+            for position, stripped in enumerate(other.head[: reach + 1]):
+                if stripped_similar(chain.tail, stripped, self.threshold):
+                    extensions.append((chain, position))
+                    break
+        for chain, position in extensions:
+            try:
+                source, index = position_index[position]
+            except KeyError:  # pragma: no cover - accumulator invariant
+                raise RuntimeError(
+                    f"streak stitch: head position {position} belongs to "
+                    "no recorded chain"
+                ) from None
+            if index == 0:
+                # *source* was founded by this query: a query founds a
+                # chain iff it extended nothing, so a founding position
+                # appears in exactly one chain, at member index 0.
+                absorbed_founders.add(position)
+            chain.positions.extend(
+                member + offset for member in source.positions[index:]
+            )
+            chain.tail = source.tail
+
+        # Assemble: surviving right-hand chains shift into our frame.
+        merged = list(self.chains)
+        for chain in other.chains:
+            if chain.start in absorbed_founders:
+                continue
+            merged.append(
+                _Chain(
+                    positions=[member + offset for member in chain.positions],
+                    tail=chain.tail,
+                )
+            )
+        self.closed.update(other.closed)
+        self.length += other.length
+        if offset < window:
+            self.head.extend(other.head[: window - offset])
+
+        # Canonicalize: founding order, and close everything that is
+        # now neither open nor head-founded.
+        merged.sort(key=lambda chain: chain.start)
+        kept: List[_Chain] = []
+        for chain in merged:
+            open_ = self.length - chain.end <= window
+            if open_ or chain.start < window:
+                kept.append(chain)
+            else:
+                self.closed[chain.length] += 1
+        self.chains = kept
+        return self
+
+    # -- results ---------------------------------------------------------
+
+    @property
+    def streak_count(self) -> int:
+        """Total streaks detected so far (open ones count: the serial
+        detector's ``close()`` flushes them as finished)."""
+        return len(self.chains) + sum(self.closed.values())
+
+    @property
+    def longest(self) -> int:
+        """Length of the longest streak (0 on an empty stream)."""
+        longest_open = max((chain.length for chain in self.chains), default=0)
+        longest_closed = max(
+            (length for length, count in self.closed.items() if count), default=0
+        )
+        return max(longest_open, longest_closed)
+
+    def length_histogram(self) -> Dict[str, int]:
+        """The Table 6 row histogram, every bucket present in row order.
+
+        Equals ``streak_length_histogram(find_streaks(stream))`` for the
+        stream this accumulator (or its merged parts) consumed.
+        """
+        histogram: Dict[str, int] = {label: 0 for label in BUCKET_LABELS}
+        for length, count in self.closed.items():
+            histogram[bucket_label(length)] += count
+        for chain in self.chains:
+            histogram[bucket_label(chain.length)] += 1
+        return histogram
+
+    # -- equality / snapshots -------------------------------------------
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (
+            self.window,
+            self.threshold,
+            self.length,
+            tuple(self.head),
+            tuple((tuple(c.positions), c.tail) for c in self.chains),
+            frozenset(self.closed.items()),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreakAccumulator):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __repr__(self) -> str:
+        return (
+            f"StreakAccumulator(window={self.window}, "
+            f"threshold={self.threshold}, length={self.length}, "
+            f"streaks={self.streak_count})"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native snapshot in canonical form (sorted ``closed``
+        pairs, chains in founding order) — serial and stitched runs of
+        the same stream serialize to identical bytes.  The inverse
+        lives in :mod:`repro.analysis.snapshot`."""
+        return {
+            "window": self.window,
+            "threshold": self.threshold,
+            "length": self.length,
+            "head": list(self.head),
+            "chains": [
+                {"positions": list(chain.positions), "tail": chain.tail}
+                for chain in self.chains
+            ],
+            "closed": [
+                [length, count] for length, count in sorted(self.closed.items())
+            ],
+        }

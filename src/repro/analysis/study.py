@@ -33,6 +33,7 @@ from .features import KEYWORD_ORDER
 from .operators import TABLE3_ROWS
 from .passes import NON_CTRACT_LIMIT, PassProfile, resolve_passes, run_passes
 from .shapes import SHAPE_ORDER
+from .streaks import StreakAccumulator
 
 __all__ = ["DatasetStats", "CorpusStudy", "measure_query", "study_corpus"]
 
@@ -113,22 +114,52 @@ class DatasetStats:
     triple_hist: Counter = field(default_factory=Counter)  # per S/A query
     triple_sum: int = 0  # over ALL queries (Avg#T is corpus-wide)
     keyword_counts: Counter = field(default_factory=Counter)
+    #: Streak detection state over this dataset's *ordered* raw stream
+    #: (§8, Table 6), carried from ingestion like the pipeline counters;
+    #: ``None`` unless the ``streaks`` sequence metric ran.
+    streaks: Optional[StreakAccumulator] = None
 
     def merge(self, other: "DatasetStats") -> "DatasetStats":
-        """Fold another shard of the same dataset into this one."""
+        """Fold another shard of the same dataset into this one.
+
+        Shards of one dataset are slices of one ordered stream, merged
+        in stream order — so streak accumulators *stitch* (``other`` is
+        the continuation of ``self``'s stream) rather than add.  A
+        one-sided accumulator is kept as-is: measure-phase shards never
+        carry one (streaks ride ingestion), and a fresh stats object
+        merging a streak-bearing shard adopts its state.
+        """
         if other.name != self.name:
             raise ValueError(
                 f"cannot merge stats for {other.name!r} into {self.name!r}"
             )
-        _merge_fields(self, other, skip=frozenset({"name"}))
+        _merge_fields(self, other, skip=frozenset({"name", "streaks"}))
+        if other.streaks is not None:
+            if self.streaks is None:
+                self.streaks = other.streaks.copy()
+            else:
+                self.streaks.merge(other.streaks)
+        if self.streaks is not None and self.streaks.length != self.total:
+            # A stitched accumulator must cover the merged stream edge to
+            # edge.  Length < total means one shard ran without the
+            # streaks metric (its slice was never scanned, and the other
+            # side's positions may be misaligned) — reporting its partial
+            # Table 6 as the whole stream's would be silently wrong.
+            raise ValueError(
+                f"dataset {self.name!r}: streak state covers "
+                f"{self.streaks.length} of {self.total} entries; all "
+                "merged shards must run the streaks metric (or none)"
+            )
         return self
 
     @property
     def select_ask_share(self) -> float:
+        """Fraction of analyzed queries that are SELECT or ASK."""
         return self.select_ask / self.queries if self.queries else 0.0
 
     @property
     def average_triples(self) -> float:
+        """Mean triple count over all analyzed queries (Figure 1 Avg#T)."""
         return self.triple_sum / self.queries if self.queries else 0.0
 
     def to_dict(self) -> Dict[str, Any]:
@@ -325,6 +356,7 @@ class CorpusStudy:
         rows: List[Tuple[str, int, float]] = []
 
         def label(letters: frozenset) -> str:
+            """Paper-style row label for an operator set (F written last)."""
             if not letters:
                 return "none"
             # The paper writes operator sets with F last: "A, F",
@@ -377,6 +409,35 @@ class CorpusStudy:
         rows.append(("total", self.shape_totals[fragment], 100.0))
         return rows
 
+    def streak_histograms(self) -> Dict[str, Dict[str, int]]:
+        """Table 6 columns: dataset → bucket-label histogram (row order),
+        for every dataset whose ingestion ran the ``streaks`` metric.
+        Empty when no dataset carries streak state."""
+        return {
+            name: stats.streaks.length_histogram()
+            for name, stats in self.datasets.items()
+            if stats.streaks is not None
+        }
+
+    def streak_total(self) -> int:
+        """Total streaks detected across all datasets."""
+        return sum(
+            stats.streaks.streak_count
+            for stats in self.datasets.values()
+            if stats.streaks is not None
+        )
+
+    def streak_longest(self) -> int:
+        """Length of the longest streak across all datasets (0 if none)."""
+        return max(
+            (
+                stats.streaks.longest
+                for stats in self.datasets.values()
+                if stats.streaks is not None
+            ),
+            default=0,
+        )
+
     def path_table(self) -> List[Tuple[str, int, float, str]]:
         """Table 5 rows: (type, absolute, relative %, k-range)."""
         navigational = sum(self.path_types.values()) or 1
@@ -390,6 +451,26 @@ class CorpusStudy:
                 k_range = ""
             rows.append((name, count, 100.0 * count / navigational, k_range))
         return rows
+
+
+def _claim_streaks(name: str, log: QueryLog) -> Optional[StreakAccumulator]:
+    """Take the streak state off a log's sequence results — loudly.
+
+    Every sequence-pass result must land on a :class:`DatasetStats`
+    field (mirroring the merge machinery's no-silent-drop rule): a
+    future pass whose results nothing here claims would otherwise be
+    computed at ingestion and then vanish from the study.  The
+    accumulator is copied so merging studies never mutates the log.
+    """
+    unclaimed = set(log.sequences) - {"streaks"}
+    if unclaimed:
+        raise TypeError(
+            f"dataset {name!r}: no DatasetStats field carries the results "
+            f"of sequence pass(es) {sorted(unclaimed)}; add a field and a "
+            "snapshot codec entry alongside the pass"
+        )
+    accumulator = log.sequences.get("streaks")
+    return None if accumulator is None else accumulator.copy()
 
 
 def measure_query(
@@ -466,7 +547,8 @@ def study_corpus(
     study = CorpusStudy(dedup=dedup)
     for name, log in logs.items():
         stats = DatasetStats(
-            name=name, total=log.total, valid=log.valid, unique=log.unique
+            name=name, total=log.total, valid=log.valid, unique=log.unique,
+            streaks=_claim_streaks(name, log),
         )
         study.datasets[name] = stats
         for parsed in log.unique_queries():

@@ -49,6 +49,7 @@ class AlgebraNode:
     __slots__ = ()
 
     def variables(self) -> Set[Variable]:
+        """All variables mentioned in this algebra subtree."""
         raise NotImplementedError
 
 
@@ -57,23 +58,28 @@ class AlgebraEmpty(AlgebraNode):
     """The empty pattern (left operand of a leading OPTIONAL)."""
 
     def variables(self) -> Set[Variable]:
+        """All variables mentioned in this algebra subtree."""
         return set()
 
 
 @dataclass(frozen=True)
 class AlgebraTriple(AlgebraNode):
+    """A triple pattern leaf of the binary algebra."""
     triple: ast.TriplePattern
 
     def variables(self) -> Set[Variable]:
+        """All variables mentioned in this algebra subtree."""
         return {t for t in self.triple.terms() if isinstance(t, Variable)}
 
 
 @dataclass(frozen=True)
 class AlgebraJoin(AlgebraNode):
+    """A JOIN node of the binary algebra."""
     left: AlgebraNode
     right: AlgebraNode
 
     def variables(self) -> Set[Variable]:
+        """All variables mentioned in this algebra subtree."""
         return self.left.variables() | self.right.variables()
 
 
@@ -85,15 +91,18 @@ class AlgebraLeftJoin(AlgebraNode):
     right: AlgebraNode
 
     def variables(self) -> Set[Variable]:
+        """All variables mentioned in this algebra subtree."""
         return self.left.variables() | self.right.variables()
 
 
 @dataclass(frozen=True)
 class AlgebraFilter(AlgebraNode):
+    """A FILTER node of the binary algebra."""
     expression: ast.Expression
     operand: AlgebraNode
 
     def variables(self) -> Set[Variable]:
+        """All variables mentioned in this algebra subtree."""
         return self.operand.variables() | walk.expression_variables(self.expression)
 
 
@@ -196,12 +205,14 @@ class PatternTreeNode:
         return variables
 
     def subtree_nodes(self) -> List["PatternTreeNode"]:
+        """This node and all its descendants, preorder."""
         nodes = [self]
         for child in self.children:
             nodes.extend(child.subtree_nodes())
         return nodes
 
     def size(self) -> int:
+        """Number of nodes in this subtree."""
         return len(self.subtree_nodes())
 
 

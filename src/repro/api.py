@@ -47,8 +47,9 @@ from .analysis.context import (
     AnalysisOptions,
 )
 from .analysis.parallel import build_query_logs_parallel
-from .analysis.passes import PassProfile, resolve_passes
+from .analysis.passes import PassProfile, resolve_passes, resolve_sequence_passes
 from .analysis.snapshot import load_study, save_study
+from .analysis.streaks import DEFAULT_STREAK_THRESHOLD, DEFAULT_STREAK_WINDOW
 from .analysis.study import CorpusStudy, study_corpus
 from .logs import ParseCache, QueryLog, build_query_log, dataset_name, iter_entries
 from .logs.sources import read_entries
@@ -86,7 +87,9 @@ class AnalysisRequest:
     #: ``True`` → Unique corpus (paper main body); ``False`` → Valid
     #: corpus, weighting every query by its multiplicity (appendix).
     dedup: bool = True
-    #: Analyzer passes to run (``None`` = all); see ``repro.analysis.passes``.
+    #: Analyzer passes to run (``None`` = every per-query pass; the
+    #: ``streaks`` sequence pass is opt-in by name); see
+    #: ``repro.analysis.passes``.
     metrics: Optional[Tuple[str, ...]] = None
     #: Skip the structure pass above this canonical-graph node count.
     shape_node_limit: int = DEFAULT_SHAPE_NODE_LIMIT
@@ -94,6 +97,10 @@ class AnalysisRequest:
     cache_size: int = DEFAULT_STRUCTURE_CACHE_SIZE
     #: Collect per-pass wall times onto the result's profile.
     profile: bool = False
+    #: Lookbehind window of the ``streaks`` sequence pass (§8).
+    streak_window: int = DEFAULT_STREAK_WINDOW
+    #: Normalized-Levenshtein similarity threshold for streaks.
+    streak_threshold: float = DEFAULT_STREAK_THRESHOLD
     #: Stream file inputs lazily (bounded-memory ingestion).
     stream: bool = False
     #: Worker processes for ingestion and measurement (1 = in-process).
@@ -110,6 +117,8 @@ class AnalysisRequest:
             shape_node_limit=self.shape_node_limit,
             cache_size=self.cache_size,
             profile=self.profile,
+            streak_window=self.streak_window,
+            streak_threshold=self.streak_threshold,
         )
 
     def validate(self) -> None:
@@ -125,6 +134,15 @@ class AnalysisRequest:
         if self.shape_node_limit < 1:
             raise ValueError(
                 f"shape_node_limit must be >= 1, got {self.shape_node_limit}"
+            )
+        if self.streak_window < 1:
+            raise ValueError(
+                f"streak_window must be >= 1, got {self.streak_window}"
+            )
+        if not 0.0 <= self.streak_threshold <= 1.0:
+            raise ValueError(
+                f"streak_threshold must be within [0, 1], "
+                f"got {self.streak_threshold}"
             )
         resolve_passes(self.metrics)  # unknown metric names raise here
         if self.inputs:
@@ -150,6 +168,7 @@ class CoverageCaveats:
 
     @classmethod
     def from_study(cls, study: CorpusStudy) -> "CoverageCaveats":
+        """Read the drop counters off a finished study."""
         return cls(
             shape_limit_skipped=study.shape_limit_skipped,
             non_ctract_truncated=study.non_ctract_truncated,
@@ -237,10 +256,16 @@ class AnalysisSession:
         return AnalysisResult(study=study, logs=logs, request=request)
 
     def ingest(self, request: AnalysisRequest) -> Dict[str, QueryLog]:
-        """Clean → parse → dedup the request's inputs into query logs."""
+        """Clean → parse → dedup the request's inputs into query logs.
+
+        Sequence metrics (``streaks``) are computed here — the ordered
+        raw stream no longer exists after deduplication — by the
+        chunked driver, whose per-chunk accumulators stitch back to the
+        exact serial scan."""
         corpora = self._resolve_corpora(request)
         prefixes = dict(request.extra_prefixes) if request.extra_prefixes else None
-        if request.stream or request.workers != 1:
+        sequences = resolve_sequence_passes(request.metrics)
+        if request.stream or request.workers != 1 or sequences:
             # One pool over all datasets: small logs share the worker
             # start-up; lazy sources keep peak memory O(workers × chunk).
             return build_query_logs_parallel(
@@ -248,6 +273,7 @@ class AnalysisSession:
                 prefixes,
                 workers=request.workers,
                 chunk_size=request.chunk_size,
+                options=request.options() if sequences else None,
             )
         # Serial path: one parse cache across all datasets, so texts
         # recurring across endpoint logs are parsed once.

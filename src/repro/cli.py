@@ -29,9 +29,9 @@ import warnings
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .analysis import find_streaks, streak_length_histogram
 from .analysis.context import DEFAULT_SHAPE_NODE_LIMIT
-from .analysis.passes import PASS_NAMES
+from .analysis.passes import PASS_NAMES, SEQUENCE_PASS_NAMES
+from .analysis.streaks import DEFAULT_STREAK_THRESHOLD, DEFAULT_STREAK_WINDOW
 from .api import AnalysisRequest, AnalysisSession, load_study, merge_studies, save_study
 from .engine import IndexedEngine, NestedLoopEngine
 from .exceptions import StudySnapshotError
@@ -41,7 +41,7 @@ from .reporting import (
     render_figure3,
     render_pass_profile,
     render_report,
-    render_table6,
+    render_table6_from_study,
     reporter_names,
 )
 from .workload import (
@@ -105,6 +105,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         stream=args.stream,
         workers=args.workers,
         chunk_size=args.chunk_size,
+        streak_window=args.streak_window,
+        streak_threshold=args.streak_threshold,
     )
     try:
         result = AnalysisSession().run(request)
@@ -203,24 +205,36 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
 
 
 def _cmd_streaks(args: argparse.Namespace) -> int:
+    """Thin wrapper over the facade: ``repro streaks`` is ``repro
+    analyze --metrics streaks`` printing only the Table 6 block."""
+    common = dict(
+        metrics=("streaks",),
+        streak_window=args.window,
+        streak_threshold=args.threshold,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+    )
     if args.synthetic:
         queries: Sequence[str] = generate_day_log(
             n_queries=args.synthetic, seed=args.seed
         )
         name = f"synthetic-{args.synthetic}"
+        request = AnalysisRequest(corpora={name: queries}, **common)  # type: ignore[arg-type]
     else:
         if not args.file:
             print("streaks: provide FILE or --synthetic N", file=sys.stderr)
             return 2
-        path = Path(args.file)
-        queries = read_entries(path)
-        name = path.stem
-    streaks = find_streaks(queries, window=args.window, threshold=args.threshold)
-    histogram = streak_length_histogram(streaks)
-    print(render_table6({name: histogram}))
-    if streaks:
-        longest = max(s.length for s in streaks)
-        print(f"\nlongest streak: {longest} queries")
+        request = AnalysisRequest(inputs=(args.file,), **common)  # type: ignore[arg-type]
+    try:
+        result = AnalysisSession().run(request)
+    except (ValueError, OSError) as error:
+        print(f"streaks: {error}", file=sys.stderr)
+        return 2
+    block = render_table6_from_study(result.study)
+    if block is None:  # pragma: no cover - the metric always attaches state
+        print("streaks: no streak state was produced", file=sys.stderr)
+        return 2
+    print(block)
     return 0
 
 
@@ -305,7 +319,25 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PASS[,PASS...]",
         help="comma-separated analyzer passes to run "
         f"(default: all of {', '.join(PASS_NAMES)}); tables owned by "
-        "unselected passes render with zero counts",
+        "unselected passes render with zero counts; sequence passes "
+        f"({', '.join(SEQUENCE_PASS_NAMES)}) are opt-in by name and scan "
+        "the ordered raw stream during ingestion",
+    )
+    analyze.add_argument(
+        "--streak-window",
+        type=_positive_int,
+        default=DEFAULT_STREAK_WINDOW,
+        metavar="N",
+        help="streak lookbehind window for `--metrics streaks` "
+        f"(default {DEFAULT_STREAK_WINDOW}, the paper's setting)",
+    )
+    analyze.add_argument(
+        "--streak-threshold",
+        type=float,
+        default=DEFAULT_STREAK_THRESHOLD,
+        metavar="X",
+        help="normalized-Levenshtein similarity threshold for "
+        f"`--metrics streaks` (default {DEFAULT_STREAK_THRESHOLD})",
     )
     analyze.add_argument(
         "--shape-node-limit",
@@ -378,18 +410,40 @@ def _build_parser() -> argparse.ArgumentParser:
     figure3.add_argument("--seed", type=int, default=1)
     figure3.set_defaults(func=_cmd_figure3)
 
-    streaks = commands.add_parser("streaks", help="detect streaks (Table 6)")
+    streaks = commands.add_parser(
+        "streaks",
+        help="detect streaks (Table 6); shorthand for "
+        "`analyze --metrics streaks`",
+    )
     streaks.add_argument("file", nargs="?", help="ordered query log file")
     streaks.add_argument("--synthetic", type=int, default=0, metavar="N")
-    streaks.add_argument("--window", type=int, default=30)
-    streaks.add_argument("--threshold", type=float, default=0.25)
+    streaks.add_argument("--window", type=_positive_int, default=DEFAULT_STREAK_WINDOW)
+    streaks.add_argument(
+        "--threshold", type=float, default=DEFAULT_STREAK_THRESHOLD
+    )
     streaks.add_argument("--seed", type=int, default=0)
+    streaks.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes (the sharded scan is byte-identical "
+        "to the serial one)",
+    )
+    streaks.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="entries per shard (default: deterministic, sized to the input)",
+    )
     streaks.set_defaults(func=_cmd_streaks)
 
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse *argv* (default ``sys.argv``) and run the command."""
     parser = _build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,4 +1,7 @@
-"""SPARQL query evaluation engines over the in-memory RDF store."""
+"""SPARQL query evaluation engines over the in-memory RDF store.
+
+Paper mapping: the chain-vs-cycle engine experiment of Figure 3 (sec 3).
+"""
 
 from .engines import (
     Engine,

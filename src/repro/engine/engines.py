@@ -48,6 +48,7 @@ class QueryRunResult:
 
     @property
     def elapsed_ns(self) -> float:
+        """Wall time of this run in nanoseconds."""
         return self.elapsed * 1e9
 
 
@@ -61,20 +62,24 @@ class WorkloadRunResult:
 
     @property
     def average_elapsed(self) -> float:
+        """Mean wall time per run, in seconds."""
         if not self.runs:
             return 0.0
         return sum(run.elapsed for run in self.runs) / len(self.runs)
 
     @property
     def average_elapsed_ns(self) -> float:
+        """Mean wall time per run, in nanoseconds (Figure 3's unit)."""
         return self.average_elapsed * 1e9
 
     @property
     def timeout_count(self) -> int:
+        """Number of runs that hit the timeout."""
         return sum(1 for run in self.runs if run.timed_out)
 
     @property
     def timeout_rate(self) -> float:
+        """Fraction of runs that hit the timeout."""
         if not self.runs:
             return 0.0
         return self.timeout_count / len(self.runs)
@@ -134,6 +139,7 @@ class Engine:
     def run_workload(
         self, queries: Iterable[Union[str, ast.Query]], label: str = ""
     ) -> WorkloadRunResult:
+        """Run every query text and collect per-run timings."""
         runs = tuple(self.run(query) for query in queries)
         return WorkloadRunResult(engine=self.name, workload=label, runs=runs)
 

@@ -49,6 +49,7 @@ class _Deadline:
         self._counter = 0
 
     def tick(self) -> None:
+        """Abort with :class:`EngineTimeout` once the deadline passed."""
         if self.limit is None:
             return
         self._counter += 1
@@ -124,6 +125,7 @@ class PatternEvaluator:
             triples = evaluate_bgp_order(triples, self.graph)
 
         def search(index: int, solution: Solution) -> bool:
+            """Try to bind pattern *index* given the partial *solution*."""
             if index == len(triples):
                 return True
             pattern = triples[index]
@@ -162,6 +164,7 @@ class PatternEvaluator:
         graph: Graph,
         initial: Optional[List[Solution]] = None,
     ) -> List[Solution]:
+        """Evaluate any graph pattern to a list of solutions."""
         solutions: List[Solution] = initial if initial is not None else [{}]
         if pattern is None:
             return solutions
@@ -434,6 +437,7 @@ class PatternEvaluator:
     # ------------------------------------------------------------------
     def _exists_callback(self, graph: Graph) -> Callable:
         def check(pattern: ast.Pattern, binding) -> bool:
+            """Whether *binding* satisfies one MINUS pattern."""
             results = self._eval(pattern, [dict(binding)], graph)
             return bool(results)
 
@@ -572,6 +576,7 @@ class PatternEvaluator:
         exists = self._exists_callback(self.graph)
 
         def key(solution: Solution):
+            """Group-by key of *solution* (shared term sort order)."""
             parts = []
             for condition in order_by:
                 try:
@@ -680,6 +685,7 @@ class PatternEvaluator:
                 return ast.TermExpression(Variable("__aggregate_error"))
             return ast.TermExpression(value)
         def substitute(e: ast.Expression) -> ast.Expression:
+            """Inline outer bindings into *e* before evaluation."""
             return self._substitute_aggregates(e, members, exists)
 
         if isinstance(expression, ast.OrExpression):
@@ -965,6 +971,7 @@ def _estimate(
     pattern: ast.TriplePattern, bound: Set[Variable], graph: Graph
 ) -> float:
     def known(term: Term) -> Optional[Term]:
+        """Resolve *term* against the current binding (None = unbound)."""
         if isinstance(term, Variable):
             return term if term in bound else None
         if isinstance(term, BlankNode):

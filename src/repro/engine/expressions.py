@@ -9,6 +9,8 @@ builtins.
 Type errors follow the spec: they raise :class:`ExpressionError`
 internally, and filters treat an erroring constraint as *false*
 (``||``/``&&`` implement the error-absorbing truth tables).
+
+Paper mapping: expression semantics backing the Figure 3 engine runs.
 """
 
 from __future__ import annotations
@@ -96,6 +98,7 @@ class _Evaluator:
         self.exists_evaluator = exists_evaluator
 
     def eval(self, expression: ast.Expression) -> Term:
+        """Evaluate *expression* to an RDF term (raising on type errors)."""
         if isinstance(expression, ast.TermExpression):
             return self._term(expression.term)
         if isinstance(expression, ast.OrExpression):

@@ -4,6 +4,8 @@ Endpoints return SELECT/ASK results in the W3C "SPARQL 1.1 Query
 Results JSON Format" and the CSV/TSV formats; tools downstream of this
 library (and its own CLI) need the same.  Solutions are the
 ``Dict[Variable, Term]`` mappings produced by the engines.
+
+Paper mapping: result materialization for the Figure 3 engine runs.
 """
 
 from __future__ import annotations

@@ -3,6 +3,8 @@
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch one type at pipeline boundaries (notably the log
 cleaning pipeline, which must count — not crash on — invalid queries).
+
+Paper mapping: cross-cutting infrastructure (no single section).
 """
 
 from __future__ import annotations

@@ -1,5 +1,9 @@
 """Log ingestion: access-log formats, lazy on-disk sources, and the
-clean/parse/dedup pipeline."""
+clean/parse/dedup pipeline.
+
+Paper mapping: the clean -> parse -> dedup pipeline of sec 2 producing
+Table 1's Total/Valid/Unique corpora.
+"""
 
 from .formats import (
     LogEntry,

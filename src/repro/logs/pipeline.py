@@ -27,7 +27,7 @@ The :class:`QueryLog` produced here is the input to every analysis in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..exceptions import SparqlSyntaxError
 from ..rdf.namespaces import WELL_KNOWN_PREFIXES
@@ -125,6 +125,11 @@ class LogShard:
     order: List[str] = field(default_factory=list)
     counts: Dict[str, int] = field(default_factory=dict)
     parsed: Dict[str, ast.Query] = field(default_factory=dict)
+    #: Order-aware accumulators (e.g. streak detection) fed from this
+    #: slice of the *raw* entry stream, keyed by sequence-pass name.
+    #: Opaque at this layer: anything with a stream-order ``merge`` fits
+    #: (see :class:`repro.analysis.passes.SequencePass`).
+    sequences: Dict[str, Any] = field(default_factory=dict)
 
     def merge(self, other: "LogShard") -> "LogShard":
         """Fold *other* (the next slice of the stream) into this shard."""
@@ -136,11 +141,20 @@ class LogShard:
                 self.order.append(text)
         for text, count in other.counts.items():
             self.counts[text] = self.counts.get(text, 0) + count
+        for name, accumulator in other.sequences.items():
+            mine = self.sequences.get(name)
+            if mine is None:
+                self.sequences[name] = accumulator
+            else:
+                mine.merge(accumulator)
         return self
 
     def to_query_log(self, name: str) -> "QueryLog":
         """Materialize the Table 1 view of this shard."""
-        log = QueryLog(name=name, total=self.total, valid=self.valid)
+        log = QueryLog(
+            name=name, total=self.total, valid=self.valid,
+            sequences=dict(self.sequences),
+        )
         for text in self.order:
             log.parsed.append(
                 ParsedQuery(text=text, query=self.parsed[text], count=self.counts[text])
@@ -156,9 +170,15 @@ class QueryLog:
     total: int = 0
     valid: int = 0
     parsed: List[ParsedQuery] = field(default_factory=list)
+    #: Sequence-pass accumulators over this log's ordered raw stream
+    #: (``repro.analysis.study`` copies them onto the dataset stats,
+    #: like the Table 1 counters).  Empty unless ingestion ran with a
+    #: sequence metric selected.
+    sequences: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def unique(self) -> int:
+        """Number of unique valid queries (Table 1's Unique column)."""
         return len(self.parsed)
 
     def unique_queries(self) -> Iterable[ParsedQuery]:
@@ -173,6 +193,7 @@ class QueryLog:
                 yield parsed
 
     def summary_row(self) -> Tuple[str, int, int, int]:
+        """The dataset's Table 1 row: (name, total, valid, unique)."""
         return (self.name, self.total, self.valid, self.unique)
 
 

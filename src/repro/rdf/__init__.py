@@ -1,4 +1,8 @@
-"""RDF data model: terms, triples, graphs, namespaces, N-Triples IO."""
+"""RDF data model: terms, triples, graphs, namespaces, N-Triples IO.
+
+Paper mapping: the RDF preliminaries of sec 3, backing the Figure 3
+engines and the synthetic corpus.
+"""
 
 from . import ntriples, turtle
 from .graph import Graph

@@ -63,6 +63,7 @@ class Graph:
         return True
 
     def add_spo(self, s: Term, p: Term, o: Term) -> bool:
+        """Add one triple; returns False when it was already present."""
         return self.add(Triple(s, p, o))
 
     def remove(self, triple: Triple) -> bool:
@@ -189,12 +190,15 @@ class Graph:
     # Statistics and vocabulary
     # ------------------------------------------------------------------
     def subjects(self) -> Set[Term]:
+        """All distinct subjects."""
         return set(self._spo)
 
     def predicates(self) -> Set[Term]:
+        """All distinct predicates."""
         return set(self._pos)
 
     def objects(self) -> Set[Term]:
+        """All distinct objects."""
         return set(self._osp)
 
     def nodes(self) -> Set[Term]:
@@ -202,6 +206,7 @@ class Graph:
         return self.subjects() | self.objects()
 
     def predicate_histogram(self) -> Dict[Term, int]:
+        """Occurrence count per predicate."""
         return dict(self._predicate_counts)
 
     def describe(self, node: Term) -> List[Triple]:
@@ -223,6 +228,7 @@ class Graph:
         return result
 
     def copy(self) -> "Graph":
+        """An independent copy of the graph."""
         return Graph(self._triples)
 
     def __repr__(self) -> str:

@@ -29,9 +29,11 @@ class Namespace:
 
     @property
     def base(self) -> str:
+        """The namespace IRI string."""
         return self._base
 
     def term(self, local: str) -> IRI:
+        """The IRI of *local* inside this namespace."""
         return IRI(self._base + local)
 
     def __getattr__(self, local: str) -> IRI:
@@ -89,6 +91,7 @@ class NamespaceManager:
 
     @classmethod
     def with_well_known(cls) -> "NamespaceManager":
+        """A manager preloaded with the well-known prefixes."""
         return cls(WELL_KNOWN_PREFIXES)
 
     def bind(self, prefix: str, namespace: str) -> None:
@@ -109,6 +112,7 @@ class NamespaceManager:
         return IRI(self._prefix_to_ns[prefix] + local)
 
     def namespace_for(self, prefix: str) -> Optional[str]:
+        """The namespace bound to *prefix*, or ``None``."""
         return self._prefix_to_ns.get(prefix)
 
     def compact(self, iri: IRI) -> Optional[str]:
@@ -127,6 +131,7 @@ class NamespaceManager:
         return f"{prefix}:{local}"
 
     def bindings(self) -> Iterator[Tuple[str, str]]:
+        """All (prefix, namespace) bindings, in insertion order."""
         return iter(sorted(self._prefix_to_ns.items()))
 
     def __len__(self) -> int:

@@ -3,6 +3,8 @@
 A minimal, strict N-Triples 1.1 implementation used for test fixtures,
 example data files, and dumping generated graphs.  Only the features of
 the N-Triples grammar are supported (no Turtle abbreviations).
+
+Paper mapping: instance-data IO for the Figure 3 engine experiment.
 """
 
 from __future__ import annotations
@@ -118,6 +120,7 @@ def loads(text: str) -> Graph:
 
 
 def load(fp: TextIO) -> Graph:
+    """Parse an N-Triples stream into a :class:`Graph`."""
     return Graph(iter_statements(fp))
 
 
@@ -128,4 +131,5 @@ def dumps(graph: Union[Graph, Iterable[Triple]]) -> str:
 
 
 def dump(graph: Union[Graph, Iterable[Triple]], fp: TextIO) -> None:
+    """Write triples to *fp* in canonical N-Triples lines."""
     fp.write(dumps(graph))

@@ -8,6 +8,9 @@ set members, and sort keys throughout the library.
 The ordering follows SPARQL's ``ORDER BY`` term ordering: blank nodes
 sort before IRIs, which sort before literals; variables (which never
 occur in data) sort last.
+
+Paper mapping: the term model of the sec 3 preliminaries, shared by
+parser, analyses and engines.
 """
 
 from __future__ import annotations
@@ -72,15 +75,19 @@ class Term:
     _kind: int = -1
 
     def sparql_text(self) -> str:
+        """The term in SPARQL surface syntax."""
         raise NotImplementedError
 
     def sort_key(self) -> Tuple:
+        """Total-order key across term kinds (SPARQL's TERM ordering)."""
         raise NotImplementedError
 
     def is_variable(self) -> bool:
+        """Whether this term is a variable."""
         return isinstance(self, Variable)
 
     def is_constant(self) -> bool:
+        """Whether this term is a constant (IRI or literal)."""
         return not isinstance(self, (Variable, BlankNode))
 
     def __lt__(self, other: "Term") -> bool:
@@ -98,9 +105,11 @@ class IRI(Term):
     _kind = _KIND_IRI
 
     def sparql_text(self) -> str:
+        """The IRI in angle-bracket syntax."""
         return f"<{self.value}>"
 
     def sort_key(self) -> Tuple:
+        """Total-order key across term kinds (SPARQL's TERM ordering)."""
         return (_KIND_IRI, self.value)
 
     def __str__(self) -> str:
@@ -136,11 +145,13 @@ class Literal(Term):
 
     @property
     def effective_datatype(self) -> str:
+        """The literal's datatype IRI, with the plain/langString defaults."""
         if self.language is not None:
             return RDF_LANGSTRING
         return self.datatype or XSD_STRING
 
     def sparql_text(self) -> str:
+        """The literal in quoted surface syntax with tags."""
         body = f'"{_escape_literal(self.lexical)}"'
         if self.language is not None:
             return f"{body}@{self.language}"
@@ -149,12 +160,14 @@ class Literal(Term):
         return body
 
     def sort_key(self) -> Tuple:
+        """Total-order key across term kinds (SPARQL's TERM ordering)."""
         return (_KIND_LITERAL, self.lexical, self.language or "", self.datatype or "")
 
     def __str__(self) -> str:
         return self.lexical
 
     def is_numeric(self) -> bool:
+        """Whether the literal carries a numeric XSD datatype."""
         return self.datatype in (XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE)
 
     def python_value(self) -> Union[str, int, float, bool]:
@@ -177,9 +190,11 @@ class BlankNode(Term):
     _kind = _KIND_BLANK
 
     def sparql_text(self) -> str:
+        """The blank node in ``_:label`` syntax."""
         return f"_:{self.label}"
 
     def sort_key(self) -> Tuple:
+        """Total-order key across term kinds (SPARQL's TERM ordering)."""
         return (_KIND_BLANK, self.label)
 
     def __str__(self) -> str:
@@ -199,9 +214,11 @@ class Variable(Term):
             raise ValueError(f"invalid variable name: {self.name!r}")
 
     def sparql_text(self) -> str:
+        """The variable in ``?name`` syntax."""
         return f"?{self.name}"
 
     def sort_key(self) -> Tuple:
+        """Total-order key across term kinds (SPARQL's TERM ordering)."""
         return (_KIND_VARIABLE, self.name)
 
     def __str__(self) -> str:
@@ -233,6 +250,7 @@ class Triple:
             raise ValueError(f"invalid triple object: {self.object!r}")
 
     def sparql_text(self) -> str:
+        """The triple as ``s p o .`` surface syntax."""
         return (
             f"{self.subject.sparql_text()} {self.predicate.sparql_text()} "
             f"{self.object.sparql_text()} ."
@@ -242,6 +260,7 @@ class Triple:
         return iter((self.subject, self.predicate, self.object))
 
     def sort_key(self) -> Tuple:
+        """Component-wise sort key for deterministic triple ordering."""
         return (
             self.subject.sort_key(),
             self.predicate.sort_key(),

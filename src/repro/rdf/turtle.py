@@ -8,6 +8,8 @@ a subset of SPARQL's triples block).
 
 Not supported (rare in data dumps): ``@base``-relative resolution
 beyond simple joining, and the ``GRAPH`` forms of TriG.
+
+Paper mapping: instance-data IO for the Figure 3 engine experiment.
 """
 
 from __future__ import annotations
@@ -82,6 +84,7 @@ class _TurtleParser:
 
     # -- entry -----------------------------------------------------------
     def parse(self) -> List[Triple]:
+        """Parse the whole document and return its triples."""
         while self._peek().type != TokenType.EOF:
             token = self._peek()
             # "@prefix" lexes as a LANGTAG token ("@" + name); SPARQL-
@@ -312,6 +315,7 @@ def loads(text: str) -> Graph:
 
 
 def load(fp: TextIO) -> Graph:
+    """Parse a Turtle stream into a :class:`Graph`."""
     return loads(fp.read())
 
 
@@ -324,6 +328,7 @@ def dumps(graph: Graph, namespaces: Optional[NamespaceManager] = None) -> str:
     manager = namespaces
 
     def term_text(term: Term) -> str:
+        """Serialize *term*, preferring a prefixed name when bound."""
         if manager is not None and isinstance(term, IRI):
             compact = manager.compact(term)
             if compact is not None:
@@ -359,4 +364,5 @@ def dumps(graph: Graph, namespaces: Optional[NamespaceManager] = None) -> str:
 
 
 def dump(graph: Graph, fp: TextIO, namespaces: Optional[NamespaceManager] = None) -> None:
+    """Write *graph* as Turtle with prefix declarations."""
     fp.write(dumps(graph, namespaces))

@@ -75,6 +75,7 @@ class TextReporter:
     description = "paper-style monospace tables (default)"
 
     def render(self, study: CorpusStudy) -> str:
+        """Render the monospace report (Table 1 + the paper tables)."""
         # Table 1 from the stats the pipeline stamped onto the study,
         # then the same block sequence render_study(study, logs) built:
         # byte-identical to the pre-registry CLI output.
@@ -88,6 +89,7 @@ class JsonReporter:
     description = "versioned JSON snapshot (loadable by `repro report`/`merge`)"
 
     def render(self, study: CorpusStudy) -> str:
+        """Render the versioned JSON snapshot."""
         return json.dumps(study.to_dict(), indent=2) + "\n"
 
 
@@ -98,14 +100,25 @@ class JsonlReporter:
     description = "one JSON line per dataset (per-source counters + shares)"
 
     def render(self, study: CorpusStudy) -> str:
+        """Render one JSON line per dataset."""
         lines = []
         for name, stats in study.datasets.items():
             record = {"dataset": name}
             data = stats.to_dict()
             del data["name"]
+            # The raw accumulator is snapshot detail; per-dataset lines
+            # get the digest (and nothing at all on streak-less runs,
+            # keeping pre-streaks output byte-identical).
+            del data["streaks"]
             record.update(data)
             record["select_ask_share"] = round(stats.select_ask_share, 6)
             record["average_triples"] = round(stats.average_triples, 6)
+            if stats.streaks is not None:
+                record["streaks"] = {
+                    "count": stats.streaks.streak_count,
+                    "longest": stats.streaks.longest,
+                    "histogram": stats.streaks.length_histogram(),
+                }
             lines.append(json.dumps(record))
         return "\n".join(lines) + "\n" if lines else ""
 
@@ -120,6 +133,7 @@ def _study_long_rows(study: CorpusStudy) -> List[Tuple[str, str, str, str]]:
     rows: List[Tuple[str, str, str, str]] = []
 
     def pct(value: float) -> str:
+        """Fixed four-decimal percentage (stable CSV bytes)."""
         return f"{value:.4f}"
 
     for name, total, valid, unique in table1_rows(study):
@@ -189,6 +203,14 @@ def _study_long_rows(study: CorpusStudy) -> List[Tuple[str, str, str, str]]:
         rows.append(("table5", name, "relative_pct", pct(relative)))
         if k_range:
             rows.append(("table5", name, "k_range", k_range))
+    for name, histogram in study.streak_histograms().items():
+        for bucket, count in histogram.items():
+            rows.append(("table6", bucket, name, str(count)))
+        stats = study.datasets[name]
+        rows.append(("table6", "total streaks", name,
+                     str(stats.streaks.streak_count)))
+        rows.append(("table6", "longest streak", name,
+                     str(stats.streaks.longest)))
     rows.append(("coverage", "shape_limit_skipped", "absolute",
                  str(study.shape_limit_skipped)))
     rows.append(("coverage", "non_ctract_truncated", "absolute",
@@ -203,6 +225,7 @@ class CsvReporter:
     description = "long-format CSV (section,row,column,value)"
 
     def render(self, study: CorpusStudy) -> str:
+        """Render the long-format CSV document."""
         buffer = io.StringIO()
         writer = csv.writer(buffer, lineterminator="\n")
         writer.writerow(("section", "row", "column", "value"))
@@ -225,6 +248,7 @@ class MarkdownReporter:
     description = "GitHub-flavored markdown tables"
 
     def render(self, study: CorpusStudy) -> str:
+        """Render the markdown report."""
         corpus = "Unique" if study.dedup else "Valid"
         blocks = [f"# SPARQL log study ({corpus} corpus)"]
         blocks.append(
@@ -362,6 +386,23 @@ class MarkdownReporter:
                 ],
             )
         )
+        histograms = study.streak_histograms()
+        if histograms:
+            names = list(histograms)
+            buckets = list(next(iter(histograms.values())))
+            table6 = _md_table(
+                ("Streak length", *names),
+                [
+                    (bucket, *(f"{histograms[name][bucket]:,}" for name in names))
+                    for bucket in buckets
+                ],
+            )
+            longest = study.streak_longest()
+            if longest:
+                table6 += f"\n\nLongest streak: {longest:,} queries."
+            blocks.append(
+                "## Table 6: Length of streaks in single-day log files\n\n" + table6
+            )
         caveats = render_coverage_caveats(study)
         if caveats is not None:
             blocks.append(

@@ -30,6 +30,7 @@ __all__ = [
     "render_table4",
     "render_table5",
     "render_table6",
+    "render_table6_from_study",
     "render_hypertree",
     "render_figure3",
     "render_coverage_caveats",
@@ -87,6 +88,9 @@ def render_study(
             render_table5(study),
         ]
     )
+    streaks = render_table6_from_study(study)
+    if streaks is not None:
+        blocks.append(streaks)
     caveats = render_coverage_caveats(study)
     if caveats is not None:
         blocks.append(caveats)
@@ -125,6 +129,7 @@ def _render_table1_rows(rows: Iterable[Tuple[str, int, int, int]]) -> str:
 
 
 def render_table1(logs: Mapping[str, QueryLog]) -> str:
+    """Table 1 from live :class:`QueryLog` objects."""
     rows = []
     total = valid = unique = 0
     for name, log in logs.items():
@@ -149,6 +154,7 @@ def render_table1_from_study(study: CorpusStudy) -> str:
 
 
 def render_table2(study: CorpusStudy, title: str = "Table 2") -> str:
+    """Table 2: keyword counts with relative shares."""
     rows = [
         (keyword, f"{absolute:,}", _pct(relative))
         for keyword, absolute, relative in study.keyword_table()
@@ -161,6 +167,7 @@ def render_table2(study: CorpusStudy, title: str = "Table 2") -> str:
 
 
 def render_figure1(study: CorpusStudy, title: str = "Figure 1") -> str:
+    """Figure 1: triple-count distribution, S/A share, Avg#T."""
     blocks: List[str] = []
     header = ["bucket"] + list(study.datasets)
     hist_rows: List[List[str]] = []
@@ -197,6 +204,7 @@ def render_figure1(study: CorpusStudy, title: str = "Figure 1") -> str:
 
 
 def render_table3(study: CorpusStudy, title: str = "Table 3") -> str:
+    """Table 3: operator-set distribution with CPF increments."""
     rows = [
         (label, f"{count:,}", _pct(pct))
         for label, count, pct in study.operator_table()
@@ -228,6 +236,7 @@ def render_table3(study: CorpusStudy, title: str = "Table 3") -> str:
 
 
 def render_projection(study: CorpusStudy) -> str:
+    """Sec 4.4: subquery counts and projection bounds."""
     low, high = study.projection_bounds()
     subquery_pct = 100.0 * study.subquery_count / (study.query_count or 1)
     rows = [
@@ -248,6 +257,7 @@ def render_projection(study: CorpusStudy) -> str:
 
 
 def render_fragments(study: CorpusStudy) -> str:
+    """Sec 5.2: fragment sizes relative to S/A and AOF."""
     sa = study.select_ask_count or 1
     aof = study.aof_count or 1
     rows = [
@@ -282,6 +292,7 @@ def figure5_rows(study: CorpusStudy) -> List[Tuple[str, str, str, str]]:
     rows: List[Tuple[str, str, str, str]] = []
 
     def column(sizes, bucket_low: int, bucket_high: Optional[int]) -> str:
+        """One Figure 5 percentage cell for a bucket of sizes."""
         multi = {k: v for k, v in sizes.items() if k >= 2}
         denominator = sum(multi.values()) or 1
         if bucket_high is None:
@@ -318,6 +329,7 @@ def figure5_rows(study: CorpusStudy) -> List[Tuple[str, str, str, str]]:
 
 
 def render_figure5(study: CorpusStudy, title: str = "Figure 5") -> str:
+    """Figure 5: size distribution of CQ-like queries."""
     return render_table(
         f"{title}: Size of CQ-like queries with at least two triples",
         ("size", "CQ", "CQF", "CQOF"),
@@ -326,6 +338,7 @@ def render_figure5(study: CorpusStudy, title: str = "Figure 5") -> str:
 
 
 def render_table4(study: CorpusStudy, title: str = "Table 4") -> str:
+    """Table 4: cumulative shape analysis per fragment, plus girth."""
     blocks = []
     for fragment in ("CQ", "CQF", "CQOF"):
         rows = [
@@ -361,6 +374,7 @@ def render_table4(study: CorpusStudy, title: str = "Table 4") -> str:
 
 
 def render_table5(study: CorpusStudy, title: str = "Table 5") -> str:
+    """Table 5: the navigational property-path taxonomy."""
     rows = [
         (name, f"{count:,}", _pct(pct), k_range)
         for name, count, pct, k_range in study.path_table()
@@ -381,6 +395,7 @@ def render_table5(study: CorpusStudy, title: str = "Table 5") -> str:
 
 
 def render_table6(histograms: Mapping[str, Mapping[str, int]]) -> str:
+    """Table 6: streak-length histograms, one column per log."""
     names = list(histograms)
     buckets = list(next(iter(histograms.values())).keys()) if histograms else []
     rows = []
@@ -395,7 +410,27 @@ def render_table6(histograms: Mapping[str, Mapping[str, int]]) -> str:
     )
 
 
+def render_table6_from_study(study: CorpusStudy) -> Optional[str]:
+    """The Table 6 block of a study, or ``None`` when no dataset ran
+    the ``streaks`` sequence metric.
+
+    Rendered from the per-dataset accumulators carried on
+    ``study.datasets`` — so a snapshot reloaded from JSON produces the
+    same bytes as the run that detected the streaks, and ``repro
+    streaks`` prints exactly this block.
+    """
+    histograms = study.streak_histograms()
+    if not histograms:
+        return None
+    block = render_table6(histograms)
+    longest = study.streak_longest()
+    if longest:
+        block += f"\n\nlongest streak: {longest} queries"
+    return block
+
+
 def render_hypertree(study: CorpusStudy) -> str:
+    """Sec 6.2: hypertree widths of predicate-variable queries."""
     rows = [
         (f"hypertree width {width}", f"{count:,}", "")
         for width, count in sorted(study.hypertree_widths.items())

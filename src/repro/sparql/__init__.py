@@ -1,4 +1,8 @@
-"""SPARQL 1.1 parsing, AST, serialization, and traversal."""
+"""SPARQL 1.1 parsing, AST, serialization, and traversal.
+
+Paper mapping: the SPARQL machinery of sec 3; parseability defines Table
+1's Valid corpus.
+"""
 
 from . import ast, walk
 from .parser import Parser, parse_query

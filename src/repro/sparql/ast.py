@@ -156,16 +156,19 @@ class TermExpression(Expression):
 
 @dataclass(frozen=True)
 class OrExpression(Expression):
+    """Boolean disjunction (``||``)."""
     operands: Tuple[Expression, ...]
 
 
 @dataclass(frozen=True)
 class AndExpression(Expression):
+    """Boolean conjunction (``&&``)."""
     operands: Tuple[Expression, ...]
 
 
 @dataclass(frozen=True)
 class NotExpression(Expression):
+    """Boolean negation (``!``)."""
     operand: Expression
 
 
@@ -198,6 +201,7 @@ class Arithmetic(Expression):
 
 @dataclass(frozen=True)
 class UnaryMinus(Expression):
+    """Arithmetic negation (unary ``-``)."""
     operand: Expression
 
 
@@ -256,6 +260,7 @@ class TriplePattern(Pattern):
     object: Term
 
     def terms(self) -> Tuple[Term, Term, Term]:
+        """The pattern as a (subject, predicate, object) tuple."""
         return (self.subject, self.predicate, self.object)
 
 
@@ -385,6 +390,7 @@ class Projection:
     reduced: bool = False
 
     def variables(self) -> Tuple[Variable, ...]:
+        """The values-block variables, in declaration order."""
         out: List[Variable] = []
         for item in self.items:
             if isinstance(item, Variable):
@@ -413,6 +419,7 @@ class SolutionModifier:
     offset: Optional[int] = None
 
     def is_trivial(self) -> bool:
+        """Whether the pattern adds no constraint (empty group)."""
         return not (
             self.group_by or self.having or self.order_by
             or self.limit is not None or self.offset is not None
@@ -443,4 +450,5 @@ class Query:
     datasets: Tuple[Tuple[IRI, bool], ...] = ()
 
     def has_body(self) -> bool:
+        """Whether the query has a WHERE body (DESCRIBE may not)."""
         return self.pattern is not None

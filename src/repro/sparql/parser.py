@@ -9,6 +9,9 @@ lists, RDF collections, expressions with full operator precedence,
 builtins, aggregates, and solution modifiers.
 
 Entry point: :func:`parse_query`.
+
+Paper mapping: the validity oracle of sec 2 (parse failures separate
+Total from Valid in Table 1; the paper used Jena 3.0.1).
 """
 
 from __future__ import annotations
@@ -136,6 +139,7 @@ class Parser:
     # Entry point
     # ------------------------------------------------------------------
     def parse(self) -> ast.Query:
+        """Parse one complete query, consuming all input."""
         self._parse_prologue()
         token = self._peek()
         if token.is_keyword("SELECT"):
@@ -814,6 +818,7 @@ class Parser:
         inverse: List[IRI] = []
 
         def one() -> None:
+            """Parse one path-length bound digit sequence."""
             if self._accept_punct("^"):
                 inverse.append(self._parse_path_atom_iri())
             else:

@@ -3,6 +3,9 @@
 Produces canonical, re-parseable SPARQL 1.1 text.  The round trip
 ``parse(serialize(parse(q)))`` yields an AST equal to ``parse(q)`` up to
 blank-node labels, which the property-based tests verify.
+
+Paper mapping: canonical query text for dedup diagnostics and the Table
+5 non-Ctract samples.
 """
 
 from __future__ import annotations
@@ -237,6 +240,7 @@ def _path_seq_item(path: ast.Path) -> str:
 
 
 def serialize_expression(expression: ast.Expression) -> str:
+    """Serialize an expression back to SPARQL surface syntax."""
     if isinstance(expression, ast.TermExpression):
         return expression.term.sparql_text()
     if isinstance(expression, ast.OrExpression):

@@ -7,6 +7,8 @@ literals in all four quote forms, numeric literals, language tags,
 keywords/identifiers, property-path and expression punctuation, and
 comments.  Positions (1-based line/column) are tracked for error
 messages, which the log pipeline surfaces when counting invalid queries.
+
+Paper mapping: first stage of the sec 2 validity check (Table 1).
 """
 
 from __future__ import annotations
@@ -49,9 +51,11 @@ class Token:
     column: int
 
     def is_keyword(self, *words: str) -> bool:
+        """Whether this token is one of the given keywords."""
         return self.type == TokenType.KEYWORD and self.value.upper() in words
 
     def is_punct(self, *symbols: str) -> bool:
+        """Whether this token is one of the given punctuation symbols."""
         return self.type == TokenType.PUNCT and self.value in symbols
 
     def __repr__(self) -> str:
@@ -107,18 +111,22 @@ class _Cursor:
         self.column = 1
 
     def eof(self) -> bool:
+        """Whether the cursor is at end of input."""
         return self.pos >= len(self.text)
 
     def peek(self, offset: int = 0) -> str:
+        """The token *offset* ahead of the cursor (EOF-safe)."""
         index = self.pos + offset
         if index < len(self.text):
             return self.text[index]
         return ""
 
     def startswith(self, prefix: str) -> bool:
+        """Whether the upcoming characters start with *prefix*."""
         return self.text.startswith(prefix, self.pos)
 
     def advance(self, count: int) -> str:
+        """Consume and return the next *count* characters."""
         chunk = self.text[self.pos : self.pos + count]
         for ch in chunk:
             if ch == "\n":

@@ -3,6 +3,9 @@
 Every analysis in the library walks the pattern tree in some way; this
 module centralizes the traversal logic so each analysis is a small
 function over the streams yielded here.
+
+Paper mapping: traversal primitives under the keyword/operator/path
+analyses (Tables 2/3/5).
 """
 
 from __future__ import annotations
@@ -66,6 +69,7 @@ def _iter_exists(expression: ast.Expression) -> Iterator[ast.ExistsExpression]:
 def iter_triple_patterns(
     pattern: Optional[ast.Pattern], enter_subqueries: bool = True
 ) -> Iterator[ast.TriplePattern]:
+    """Every triple pattern in the tree, in syntactic order."""
     for node in iter_patterns(pattern, enter_subqueries):
         if isinstance(node, ast.TriplePattern):
             yield node
@@ -74,6 +78,7 @@ def iter_triple_patterns(
 def iter_path_patterns(
     pattern: Optional[ast.Pattern], enter_subqueries: bool = True
 ) -> Iterator[ast.PathPattern]:
+    """Every property-path pattern in the tree, in syntactic order."""
     for node in iter_patterns(pattern, enter_subqueries):
         if isinstance(node, ast.PathPattern):
             yield node
@@ -182,6 +187,7 @@ def strip_services(query: ast.Query) -> ast.Query:
     """
 
     def rewrite(pattern: ast.Pattern) -> Optional[ast.Pattern]:
+        """Rebuild *pattern* without SERVICE blocks (None = dropped)."""
         if isinstance(pattern, ast.ServicePattern):
             return None
         if isinstance(pattern, ast.GroupPattern):

@@ -1,5 +1,9 @@
 """Workload and corpus generation: gMark-style graphs/queries and the
-calibrated synthetic log corpus."""
+calibrated synthetic log corpus.
+
+Paper mapping: Figure 3 workloads plus the calibrated synthetic corpus
+standing in for Table 1's logs.
+"""
 
 from .corpus import (
     DATASET_ORDER,

@@ -257,18 +257,23 @@ class _Vocabulary:
         self._rng = rng
 
     def predicate(self) -> str:
+        """A profile-weighted predicate IRI."""
         return f"<{self._rng.choice(self.predicates)}>"
 
     def entity(self) -> str:
+        """A profile-weighted entity IRI."""
         return f"<{self._rng.choice(self.entities)}>"
 
     def class_iri(self) -> str:
+        """A profile-weighted class IRI."""
         return f"<{self._rng.choice(self.classes)}>"
 
     def graph_iri(self) -> str:
+        """A named-graph IRI."""
         return f"<{self._rng.choice(self.graphs)}>"
 
     def literal(self) -> str:
+        """A literal matching the profile's value shapes."""
         kind = self._rng.random()
         if kind < 0.4:
             return f'"value{self._rng.randrange(1000)}"'
@@ -485,6 +490,7 @@ class _QueryBuilder:
 
     # -- query forms -----------------------------------------------------
     def build(self) -> str:
+        """One synthetic query honouring the dataset profile."""
         draw = self.rng.random()
         select_p, ask_p, describe_p, _ = self.profile.query_type_mix
         if draw < select_p:

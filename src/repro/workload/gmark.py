@@ -5,6 +5,9 @@ nodes are allocated to types by proportion, and each predicate adds
 edges from every source-typed node to targets sampled (with a mild
 preferential skew) from the target type, with out-degrees drawn from
 the predicate's distribution.  Deterministic given the seed.
+
+Paper mapping: instance graphs for the Figure 3 chain/cycle experiment
+(sec 3).
 """
 
 from __future__ import annotations

@@ -46,6 +46,7 @@ class GeneratedQuery:
 
 
 class QueryShape:
+    """Supported generated-workload shapes (chain or cycle)."""
     CHAIN = "chain"
     CYCLE = "cycle"
     STAR = "star"
@@ -289,6 +290,7 @@ def flower_query(
     variable_counter = [0]
 
     def fresh() -> str:
+        """The next fresh variable name."""
         variable_counter[0] += 1
         return f"?v{variable_counter[0]}"
 

@@ -43,6 +43,7 @@ class DegreeDistribution:
             raise WorkloadError("invalid degree bounds")
 
     def sample(self, rng: random.Random) -> int:
+        """Draw a degree from this distribution."""
         if self.kind == "constant":
             return self.low
         if self.kind == "uniform":
@@ -67,6 +68,7 @@ class Predicate:
     out_degree: DegreeDistribution
 
     def iri(self, namespace: str) -> str:
+        """The node's IRI inside *namespace*."""
         return namespace + self.name
 
 
@@ -91,15 +93,18 @@ class GraphSchema:
                 raise WorkloadError(f"unknown target type {predicate.target!r}")
 
     def predicate(self, name: str) -> Predicate:
+        """Look up a predicate by name."""
         for predicate in self.predicates:
             if predicate.name == name:
                 return predicate
         raise WorkloadError(f"unknown predicate {name!r}")
 
     def predicates_from(self, node_type: str) -> List[Predicate]:
+        """Predicates whose domain is *node_type*."""
         return [p for p in self.predicates if p.source == node_type]
 
     def predicates_into(self, node_type: str) -> List[Predicate]:
+        """Predicates whose range is *node_type*."""
         return [p for p in self.predicates if p.target == node_type]
 
     def steps_from(self, node_type: str) -> List[Tuple[Predicate, bool, str]]:

@@ -160,6 +160,82 @@ class TestCommands:
     def test_streaks_requires_input(self, capsys):
         assert main(["streaks"]) == 2
 
+    def test_streaks_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["streaks", str(tmp_path / "missing.log")]) == 2
+        assert "streaks:" in capsys.readouterr().err
+
+    def test_streaks_sharded_matches_serial(self, capsys):
+        assert main(["streaks", "--synthetic", "80"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "streaks", "--synthetic", "80",
+                    "--workers", "2", "--chunk-size", "7",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == serial
+
+    def test_analyze_metrics_streaks(self, tmp_path, capsys):
+        path = tmp_path / "day.log"
+        path.write_text(
+            'SELECT ?x WHERE { ?x <urn:name> "A" }\n'
+            'SELECT ?x WHERE { ?x <urn:name> "B" }\n'
+        )
+        assert main(["analyze", "--metrics", "streaks", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "Table 6" in output
+        assert "longest streak: 2 queries" in output
+        # Default runs must not pay for (or print) streak detection.
+        assert main(["analyze", str(path)]) == 0
+        assert "Table 6" not in capsys.readouterr().out
+
+    def test_analyze_streak_window_threads_through(self, tmp_path, capsys):
+        path = tmp_path / "day.log"
+        similar = 'SELECT ?x WHERE {{ ?x <urn:name> "A{}" }}'
+        fillers = [
+            "ASK { <urn:completely> <urn:unrelated> <urn:thing> }",
+            "DESCRIBE <urn:some/very/long/resource/identifier/123456789>",
+        ]
+        path.write_text(
+            "\n".join([similar.format(1), *fillers, similar.format(2)]) + "\n"
+        )
+        assert (
+            main(
+                [
+                    "analyze", "--metrics", "streaks",
+                    "--streak-window", "2", str(path),
+                ]
+            )
+            == 0
+        )
+        narrow = capsys.readouterr().out
+        assert "longest streak: 1 queries" in narrow  # gap 3 > window 2
+        assert main(["analyze", "--metrics", "streaks", str(path)]) == 0
+        assert "longest streak: 2 queries" in capsys.readouterr().out
+
+    def test_streaks_snapshot_reloads_table6(self, tmp_path, capsys):
+        path = tmp_path / "day.log"
+        path.write_text(
+            'SELECT ?x WHERE { ?x <urn:name> "A" }\n'
+            'SELECT ?x WHERE { ?x <urn:name> "B" }\n'
+        )
+        snapshot = tmp_path / "study.json"
+        assert (
+            main(
+                [
+                    "analyze", "--metrics", "streaks",
+                    "--save-study", str(snapshot), str(path),
+                ]
+            )
+            == 0
+        )
+        direct = capsys.readouterr().out
+        assert main(["report", str(snapshot)]) == 0
+        assert capsys.readouterr().out == direct
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["nope"])

@@ -1,0 +1,153 @@
+"""Docs can't rot: code blocks and links in README/docs are checked.
+
+Three guards over every markdown file (README.md + docs/*.md):
+
+* every fenced ``python`` block must parse (syntax smoke);
+* every ``repro`` import a python block shows must resolve against the
+  installed package — renamed or removed API surfaces fail here;
+* every ``repro <verb> --flag`` line in a ``console`` block must name a
+  real CLI verb and real flags of that verb's parser;
+* every relative markdown link must point at a file that exists.
+
+CI runs this file in a dedicated docs job (see
+``.github/workflows/ci.yml``); it is cheap enough to ride tier-1 too.
+"""
+
+import argparse
+import ast
+import importlib
+import re
+import shlex
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _build_parser
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def fenced_blocks(path: Path):
+    """Yield (language, first_line_number, text) for each fenced block."""
+    language, start, lines = None, 0, []
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        match = FENCE_RE.match(line)
+        if match and language is None:
+            language, start, lines = match.group(1) or "text", number + 1, []
+        elif line.strip() == "```" and language is not None:
+            yield language, start, "\n".join(lines)
+            language = None
+        elif language is not None:
+            lines.append(line)
+    assert language is None, f"{path}: unterminated ``` fence"
+
+
+def doc_blocks(language):
+    """All blocks of one language across the doc set, as pytest params."""
+    params = []
+    for path in DOC_FILES:
+        for block_language, line, text in fenced_blocks(path):
+            if block_language == language:
+                params.append(
+                    pytest.param(
+                        path, text, id=f"{path.relative_to(REPO_ROOT)}:{line}"
+                    )
+                )
+    return params
+
+
+def test_docs_exist():
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md") in DOC_FILES
+    assert (REPO_ROOT / "docs" / "CLI.md") in DOC_FILES
+
+
+@pytest.mark.parametrize("path, code", doc_blocks("python"))
+def test_python_blocks_parse(path, code):
+    compile(code, str(path), "exec")
+
+
+@pytest.mark.parametrize("path, code", doc_blocks("python"))
+def test_python_blocks_import_real_api(path, code):
+    """Every `repro` name a doc example imports must actually exist."""
+    tree = ast.parse(code)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.level or not (node.module or "").split(".")[0] == "repro":
+                continue
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path}: `from {node.module} import {alias.name}` "
+                    "names a missing attribute"
+                )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "repro":
+                    importlib.import_module(alias.name)
+
+
+def _cli_vocabulary():
+    parser = _build_parser()
+    root_flags = {
+        option for action in parser._actions for option in action.option_strings
+    }
+    verbs = {}
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for verb, subparser in action.choices.items():
+                verbs[verb] = {
+                    option
+                    for sub_action in subparser._actions
+                    for option in sub_action.option_strings
+                }
+    return root_flags, verbs
+
+
+@pytest.mark.parametrize("path, text", doc_blocks("console"))
+def test_console_blocks_use_real_cli_flags(path, text):
+    """`repro <verb> --flag` lines must match the real parser."""
+    root_flags, verbs = _cli_vocabulary()
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].strip()
+        tokens = shlex.split(line)
+        if not tokens:
+            continue
+        if tokens[:3] == ["python", "-m", "repro"]:
+            tokens = ["repro"] + tokens[3:]
+        if tokens[0] != "repro" or len(tokens) < 2:
+            continue
+        verb = tokens[1]
+        if verb.startswith("-"):
+            assert verb.split("=")[0] in root_flags, f"{path}: {line}"
+            continue
+        if not re.fullmatch(r"[a-z][a-z0-9-]*", verb):
+            continue  # placeholder like `repro <command> --help`
+        assert verb in verbs, f"{path}: unknown verb in {line!r}"
+        for token in tokens[2:]:
+            if token.startswith("--"):
+                flag = token.split("=")[0]
+                assert flag in verbs[verb], (
+                    f"{path}: `repro {verb}` has no flag {flag} ({line!r})"
+                )
+
+
+@pytest.mark.parametrize(
+    "path", DOC_FILES, ids=[str(p.relative_to(REPO_ROOT)) for p in DOC_FILES]
+)
+def test_relative_links_resolve(path):
+    """Relative links in the docs must point at files that exist."""
+    for target in LINK_RE.findall(path.read_text(encoding="utf-8")):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+            continue
+        if target.startswith("#"):  # in-page anchor
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if REPO_ROOT not in resolved.parents and resolved != REPO_ROOT:
+            continue  # GitHub-UI paths like ../../actions/… escape the repo
+        assert resolved.exists(), f"{path}: broken relative link {target!r}"

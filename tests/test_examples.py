@@ -1,0 +1,49 @@
+"""Example scripts stay runnable, and streak_explorer's output is pinned.
+
+The examples double as documentation, so they break loudly: every
+script must at least import, and ``examples/streak_explorer.py`` —
+which exercises the facade's sequence-pass path end to end — has its
+full stdout pinned as a golden file (regenerate with
+``pytest --update-goldens`` after intentional changes, like the other
+goldens).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+GOLDEN = REPO_ROOT / "tests" / "goldens" / "streak_explorer.txt"
+
+
+def load_example(name: str):
+    """Import an example script as a module (they are not a package)."""
+    path = REPO_ROOT / "examples" / name
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[path.stem] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.name for p in EXAMPLES])
+def test_examples_compile(path):
+    compile(path.read_text(encoding="utf-8"), str(path), "exec")
+
+
+def test_streak_explorer_golden(capsys, update_goldens):
+    load_example("streak_explorer.py").main(["160"])
+    output = capsys.readouterr().out
+    if update_goldens:
+        GOLDEN.write_text(output, encoding="utf-8")
+        return
+    assert GOLDEN.exists(), (
+        f"golden file {GOLDEN} is missing; run pytest --update-goldens"
+    )
+    assert output == GOLDEN.read_text(encoding="utf-8"), (
+        "streak_explorer output drifted from its golden copy; if "
+        "intentional, regenerate with pytest --update-goldens"
+    )
