@@ -24,7 +24,7 @@ from _bench_utils import banner
 
 from repro.analysis import find_streaks, streak_length_histogram
 from repro.analysis.parallel import imap_bounded, iter_chunks
-from repro.analysis.streaks import StreakAccumulator
+from repro.analysis.streaks import SIMILARITY_COUNTERS, StreakAccumulator
 from repro.reporting import render_table6
 from repro.workload import DATASET_PROFILES, generate_day_log
 
@@ -102,9 +102,15 @@ def test_table6_sharded_vs_serial_walltime():
         profile=DATASET_PROFILES["DBpedia15"],
     )
 
+    SIMILARITY_COUNTERS.reset()
     started = time.perf_counter()
     serial = _detect_chunk(log)
     serial_seconds = time.perf_counter() - started
+    # Kernel instrumentation for the serial scan: how much work each
+    # prefilter stage absorbed before the DP ran (per-process counters,
+    # so snapshot them before the sharded run forks workers).
+    serial_counters = SIMILARITY_COUNTERS.to_dict()
+    dp_skip_rate = SIMILARITY_COUNTERS.dp_skip_rate
 
     chunk_size = max(1, len(log) // (workers * 4))
     started = time.perf_counter()
@@ -131,8 +137,13 @@ def test_table6_sharded_vs_serial_walltime():
         "chunk_size": chunk_size,
         "serial_seconds": round(serial_seconds, 6),
         "sharded_seconds": round(sharded_seconds, 6),
+        "serial_vs_sharded_speedup": round(
+            serial_seconds / sharded_seconds if sharded_seconds > 0 else 0.0, 3
+        ),
         "streak_count": serial.streak_count,
         "longest": serial.longest,
+        "similarity_counters": serial_counters,
+        "dp_skip_rate": round(dp_skip_rate, 4),
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
@@ -140,5 +151,10 @@ def test_table6_sharded_vs_serial_walltime():
     print(
         f"  {len(log)} queries, window 30: serial {serial_seconds:.3f}s, "
         f"sharded ({workers} workers) {sharded_seconds:.3f}s"
+    )
+    print(
+        f"  kernel: {serial_counters['comparisons']} comparisons, "
+        f"{serial_counters['dp_runs']} DP runs "
+        f"({dp_skip_rate:.1%} settled by prefilters/memo)"
     )
     print(f"  wrote {out_path}")

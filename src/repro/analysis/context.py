@@ -99,6 +99,12 @@ class AnalysisOptions:
     streak_window: int = DEFAULT_STREAK_WINDOW
     #: Normalized-Levenshtein similarity threshold for streaks.
     streak_threshold: float = DEFAULT_STREAK_THRESHOLD
+    #: Skip SPARQL parsing, deduplication and AST retention during
+    #: ingestion — sequence passes read the raw ordered stream only, so
+    #: a sequence-only run pays none of that cost.  Honored by the
+    #: ingestion drivers only when the selected metrics contain no
+    #: per-query pass (per-query passes need parsed ASTs).
+    lean_ingestion: bool = False
 
 
 #: Default options instance shared by every driver entry point.

@@ -39,6 +39,7 @@ import os
 import threading
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
 from functools import partial
 from itertools import chain, islice
 from typing import (
@@ -146,7 +147,10 @@ def _init_parse_worker() -> None:
 
 
 def _attach_sequences(
-    shard: LogShard, texts: List[str], options: Optional[AnalysisOptions]
+    shard: LogShard,
+    texts: List[str],
+    options: Optional[AnalysisOptions],
+    lookahead: Optional[List[str]] = None,
 ) -> LogShard:
     """Feed this chunk's *raw* texts, in order, to every selected
     sequence pass and hang the accumulators on the shard.
@@ -154,6 +158,13 @@ def _attach_sequences(
     Sequence passes (streak detection) must see the stream *before*
     deduplication — duplicate entries are exactly what streaks are made
     of — so they ride the ingestion chunks, not the measure phase.
+
+    *lookahead* — the first ``window`` raw texts of the *next* chunk of
+    the same dataset — lets the worker precompute the similarity
+    decisions the parent's merge-time boundary stitch will need
+    (:meth:`~repro.analysis.streaks.StreakAccumulator
+    .precompute_boundary`), moving that scoring off the serial merge
+    path and onto the pool.
     """
     if options is None:
         return shard
@@ -161,18 +172,42 @@ def _attach_sequences(
         accumulator = sequence_pass.start(options)
         for text in texts:
             accumulator.push(text)
+        if lookahead is not None and hasattr(accumulator, "precompute_boundary"):
+            accumulator.precompute_boundary(lookahead)
         shard.sequences[sequence_pass.name] = accumulator
     return shard
 
 
+def _ingest_chunk(
+    texts: List[str],
+    extra_prefixes: Optional[Dict[str, str]],
+    options: Optional[AnalysisOptions],
+    cache: Optional[ParseCache],
+) -> LogShard:
+    """Clean → parse → dedup one chunk — or skip all three in lean mode.
+
+    Lean ingestion (``options.lean_ingestion``) applies when only
+    sequence passes are selected: they read the raw ordered stream, so
+    the shard needs nothing but its Total counter.  Valid/Unique then
+    honestly report 0 — the parse stage never ran.
+    """
+    if options is not None and options.lean_ingestion:
+        return LogShard(total=len(texts))
+    return process_entries(texts, extra_prefixes=extra_prefixes, cache=cache)
+
+
 def _parse_chunk(
-    payload: Tuple[str, List[str], Optional[Dict[str, str]], Optional[AnalysisOptions]],
+    payload: Tuple[
+        str,
+        List[str],
+        Optional[Dict[str, str]],
+        Optional[AnalysisOptions],
+        Optional[List[str]],
+    ],
 ) -> Tuple[str, LogShard]:
-    name, texts, extra_prefixes, options = payload
-    shard = process_entries(
-        texts, extra_prefixes=extra_prefixes, cache=_WORKER_PARSE_CACHE
-    )
-    return name, _attach_sequences(shard, texts, options)
+    name, texts, extra_prefixes, options, lookahead = payload
+    shard = _ingest_chunk(texts, extra_prefixes, options, _WORKER_PARSE_CACHE)
+    return name, _attach_sequences(shard, texts, options, lookahead)
 
 
 #: Per-worker structural-signature cache, created by the pool
@@ -416,20 +451,51 @@ def build_query_logs_parallel(
     to a per-chunk :class:`~repro.analysis.streaks.StreakAccumulator`,
     and the chunk accumulators are stitched in stream order onto
     ``QueryLog.sequences`` — byte-identical to a serial scan of the
-    whole log.
+    whole log.  Each chunk payload also carries a lookahead of its
+    successor's head, so workers pre-score the boundary similarity
+    decisions the stitch will consult instead of computing them on the
+    serial merge path.  With ``options.lean_ingestion`` the parse /
+    dedup / AST stages are skipped entirely (sequence passes read the
+    raw stream): Total stays exact, Valid/Unique report 0.
     """
     workers = resolve_workers(workers)
     size = _resolve_chunk_size(chunk_size, corpora, workers)
     if options is not None and not resolve_sequence_passes(options.metrics):
         options = None  # nothing order-aware to compute; keep payloads lean
+    if (
+        options is not None
+        and options.lean_ingestion
+        and resolve_passes(options.metrics)
+    ):
+        # Per-query passes need parsed ASTs; lean mode is only honored
+        # for sequence-only selections (the facade validates this — a
+        # direct caller gets the safe behavior, not empty tables).
+        options = replace(options, lean_ingestion=False)
+    # Boundary lookahead: give each chunk the first streak-window texts
+    # of its successor, so workers pre-score the merge-time boundary
+    # stitch (see _attach_sequences).  Costs holding one extra chunk in
+    # the producer — the backpressure window is unchanged.
+    lookahead_size = options.streak_window if options is not None else 0
 
     def payloads() -> Iterator[
-        Tuple[str, List[str], Optional[Dict[str, str]], Optional[AnalysisOptions]]
+        Tuple[
+            str,
+            List[str],
+            Optional[Dict[str, str]],
+            Optional[AnalysisOptions],
+            Optional[List[str]],
+        ]
     ]:
-        """Lazily yield (dataset, chunk, prefixes, options) payloads."""
+        """Lazily yield (dataset, chunk, prefixes, options, lookahead)."""
         for name, texts in corpora.items():
+            held: Optional[List[str]] = None
             for chunk in iter_chunks(texts, size):
-                yield (name, chunk, extra_prefixes, options)
+                if held is not None:
+                    yield (name, held, extra_prefixes, options,
+                           chunk[:lookahead_size])
+                held = chunk
+            if held is not None:
+                yield (name, held, extra_prefixes, options, None)
 
     if workers == 1:
         # In-process: share one run-local parse cache across all chunks
@@ -440,9 +506,9 @@ def build_query_logs_parallel(
 
         def parse_chunk(payload):
             """Parse one chunk in-process, sharing the run-local cache."""
-            name, texts, prefixes, chunk_options = payload
-            shard = process_entries(texts, extra_prefixes=prefixes, cache=cache)
-            return name, _attach_sequences(shard, texts, chunk_options)
+            name, texts, prefixes, chunk_options, lookahead = payload
+            shard = _ingest_chunk(texts, prefixes, chunk_options, cache)
+            return name, _attach_sequences(shard, texts, chunk_options, lookahead)
 
         worker_fn, initializer = parse_chunk, None
     else:

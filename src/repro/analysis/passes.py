@@ -54,6 +54,7 @@ __all__ = [
     "resolve_passes",
     "resolve_sequence_passes",
     "run_passes",
+    "sequence_only_selection",
 ]
 
 #: Cap on the number of non-Ctract path expressions kept for Table 5.
@@ -362,6 +363,20 @@ def resolve_sequence_passes(
         for name in SEQUENCE_PASS_NAMES
         if name in requested
     )
+
+
+def sequence_only_selection(metrics: Optional[Iterable[str]]) -> bool:
+    """Whether *metrics* selects sequence passes and nothing else.
+
+    The auto-lean predicate: such a run needs only the raw ordered
+    stream, so ingestion can skip parsing, deduplication and AST
+    retention entirely (``AnalysisOptions.lean_ingestion``).  ``None``
+    — the default pipeline — is per-query-only, hence ``False``.
+    """
+    if metrics is None:
+        return False
+    requested = _check_known(metrics)
+    return bool(requested) and requested <= set(SEQUENCE_PASS_NAMES)
 
 
 @dataclass

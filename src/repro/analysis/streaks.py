@@ -11,11 +11,29 @@ before the first SELECT / ASK / CONSTRUCT / DESCRIBE keyword), then
 require normalized Levenshtein distance ≤ 0.25 — i.e. the queries are
 at least 75% identical.
 
-Levenshtein distance is computed with a banded dynamic program that
-gives up as soon as the distance provably exceeds the threshold, which
-is what makes streak detection feasible on day-sized logs (the paper
-notes the discovery was "extremely resource-consuming"; the band is our
-ablation-tested optimization).
+The paper notes the discovery was "extremely resource-consuming"; this
+kernel makes it affordable through a chain of *exact* accelerations,
+each a provable bound on the edit distance (so every decision is
+byte-identical to running the full dynamic program — property-tested
+in ``tests/test_streak_prefilters.py``):
+
+1. **equality** — exact repeats, the common case in real logs;
+2. **length prefilter** — ``|len(a) − len(b)|`` is a lower bound on
+   the distance; O(1);
+3. **bag-of-characters prefilter** — the multiset surplus
+   ``max(|bag(a)−bag(b)|, |bag(b)−bag(a)|)`` is a lower bound on the
+   distance; O(alphabet) using character-frequency vectors cached on
+   :class:`PreparedText`;
+4. **common-affix accept** — after trimming the shared prefix and
+   suffix (which leaves the distance unchanged), the longer remainder
+   length is an *upper* bound on the distance: small enough means
+   similar without any DP;
+5. **banded DP** — the O(k·n) band that gives up as soon as the
+   distance provably exceeds the threshold, now running on the trimmed
+   remainders only.
+
+See ``docs/PERFORMANCE.md`` for the measured effect of each stage and
+:data:`SIMILARITY_COUNTERS` for per-process instrumentation.
 """
 
 from __future__ import annotations
@@ -29,13 +47,18 @@ __all__ = [
     "BUCKET_LABELS",
     "DEFAULT_STREAK_THRESHOLD",
     "DEFAULT_STREAK_WINDOW",
+    "SIMILARITY_COUNTERS",
     "STREAK_BUCKETS",
+    "PreparedText",
+    "SimilarityCounters",
     "Streak",
     "StreakAccumulator",
     "StreakDetector",
+    "bag_distance_bound",
     "bucket_label",
     "find_streaks",
     "levenshtein",
+    "prepared_similar",
     "queries_similar",
     "streak_length_histogram",
     "strip_prefixes",
@@ -89,10 +112,16 @@ def levenshtein(
 ) -> Optional[int]:
     """Levenshtein distance between *a* and *b*.
 
-    When *max_distance* is given, uses a banded DP of width
-    2·max_distance+1 and returns ``None`` as soon as the distance
-    provably exceeds the bound — O(max_distance · len) instead of
-    O(len²).
+    Computed with the Myers/Hyyrö bit-parallel algorithm: each text
+    position costs a handful of arbitrary-precision integer operations
+    on ``len(a)``-bit vectors, i.e. O(len_b · ⌈len_a/64⌉) machine words
+    instead of the O(len²) cell-by-cell DP — the difference that makes
+    day-log streak scans affordable (see the Levenshtein ablation
+    bench, which keeps the older banded DP around as a measured
+    comparison point).
+
+    When *max_distance* is given, returns ``None`` if the distance
+    exceeds the bound (after an O(1) length-difference rejection).
     """
     if a == b:
         return 0
@@ -101,9 +130,50 @@ def levenshtein(
     len_a, len_b = len(a), len(b)
     if max_distance is not None and len_b - len_a > max_distance:
         return None
-    if max_distance is None:
-        return _levenshtein_full(a, b)
-    return _levenshtein_banded(a, b, max_distance)
+    distance = len_b if len_a == 0 else _levenshtein_bitparallel(a, b)
+    if max_distance is not None and distance > max_distance:
+        return None
+    return distance
+
+
+def _levenshtein_bitparallel(a: str, b: str) -> int:
+    """Exact Levenshtein distance via Myers' bit-vector algorithm.
+
+    Requires *a* non-empty (callers handle the empty case).  The
+    pattern *a* is encoded as per-character match masks; each character
+    of *b* then updates the vertical positive/negative delta vectors
+    with six bit operations on ``len(a)``-bit integers.  Python's
+    arbitrary-precision ints hold the whole vector, so no 64-bit block
+    chaining is needed.  Verified equal to the full DP in the property
+    suite and the Levenshtein ablation bench.
+    """
+    length = len(a)
+    mask = (1 << length) - 1
+    last = 1 << (length - 1)
+    match_masks: Dict[str, int] = {}
+    bit = 1
+    for char in a:
+        match_masks[char] = match_masks.get(char, 0) | bit
+        bit <<= 1
+    positive = mask  # vertical delta +1 positions
+    negative = 0  # vertical delta -1 positions
+    score = length
+    get = match_masks.get
+    for char in b:
+        matches = get(char, 0)
+        diagonal = matches | negative
+        horizontal_x = (((matches & positive) + positive) ^ positive) | matches
+        h_positive = negative | (~(horizontal_x | positive) & mask)
+        h_negative = positive & horizontal_x
+        if h_positive & last:
+            score += 1
+        elif h_negative & last:
+            score -= 1
+        h_positive = ((h_positive << 1) | 1) & mask
+        h_negative = (h_negative << 1) & mask
+        positive = h_negative | (~(diagonal | h_positive) & mask)
+        negative = h_positive & diagonal
+    return score
 
 
 def _levenshtein_full(a: str, b: str) -> int:
@@ -171,6 +241,158 @@ def _levenshtein_banded(a: str, b: str, k: int) -> Optional[int]:
     return distance if distance <= k else None
 
 
+@dataclass
+class SimilarityCounters:
+    """Per-process instrumentation of the similarity filter chain.
+
+    Every field counts decisions since the last :meth:`reset`; the
+    module-level :data:`SIMILARITY_COUNTERS` instance is what the
+    kernel increments.  Counters never influence results — they exist
+    so benchmarks (and ``BENCH_passes.json``) can report how much work
+    each prefilter stage absorbed before the banded DP ran.
+    """
+
+    comparisons: int = 0  #: similarity decisions requested
+    equal_accepts: int = 0  #: settled by exact text equality
+    length_rejects: int = 0  #: settled by the length-difference bound
+    bag_rejects: int = 0  #: settled by the bag-of-chars bound
+    trim_accepts: int = 0  #: settled by the common-affix upper bound
+    dp_runs: int = 0  #: pairs that actually reached the banded DP
+    memo_hits: int = 0  #: decisions reused from a per-push memo
+    boundary_hits: int = 0  #: decisions reused from a worker boundary table
+
+    def reset(self) -> None:
+        """Zero every counter (start of a measured run)."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict snapshot, JSON-ready for bench payloads."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    @property
+    def dp_skip_rate(self) -> float:
+        """Fraction of comparisons settled without running the DP."""
+        if not self.comparisons:
+            return 0.0
+        return 1.0 - self.dp_runs / self.comparisons
+
+
+#: The kernel's live instrumentation (per process; workers each have
+#: their own copy, so parent-side numbers cover the serial remainder).
+SIMILARITY_COUNTERS = SimilarityCounters()
+
+
+class PreparedText:
+    """A prefix-stripped query text with cached similarity features.
+
+    Streak scanning compares each incoming query against up to
+    ``window`` chain tails; preparing the text once (stripping, length,
+    lazily a character-frequency :class:`~collections.Counter`) makes
+    every one of those comparisons O(1)/O(alphabet) until the rare pair
+    that genuinely needs the DP.
+    """
+
+    __slots__ = ("text", "length", "_freq")
+
+    def __init__(self, stripped: str) -> None:
+        self.text = stripped
+        self.length = len(stripped)
+        self._freq: Optional[Counter] = None
+
+    @classmethod
+    def from_raw(cls, query_text: str) -> "PreparedText":
+        """Prepare a raw (unstripped) query text."""
+        return cls(strip_prefixes(query_text))
+
+    @property
+    def freq(self) -> Counter:
+        """Character-frequency vector, computed once per text."""
+        freq = self._freq
+        if freq is None:
+            freq = self._freq = Counter(self.text)
+        return freq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PreparedText({self.text!r})"
+
+
+def bag_distance_bound(freq_a: Counter, freq_b: Counter) -> int:
+    """Lower bound on Levenshtein distance from character frequencies.
+
+    ``max`` of the two multiset surpluses: every character *a* has in
+    excess of *b* must be deleted or substituted away, and vice versa,
+    while one edit operation fixes at most one unit of either surplus.
+    Property-tested against the exact distance in
+    ``tests/test_streak_prefilters.py``.
+    """
+    excess_a = 0
+    excess_b = 0
+    for char, count in freq_a.items():
+        difference = count - freq_b.get(char, 0)
+        if difference > 0:
+            excess_a += difference
+    for char, count in freq_b.items():
+        difference = count - freq_a.get(char, 0)
+        if difference > 0:
+            excess_b += difference
+    return excess_a if excess_a > excess_b else excess_b
+
+
+def _strip_common_affixes(a: str, b: str) -> Tuple[str, str]:
+    """Trim the shared prefix and suffix; Levenshtein-invariant.
+
+    An optimal alignment never edits inside a common prefix or suffix,
+    so ``levenshtein(a, b) == levenshtein(*_strip_common_affixes(a, b))``
+    while the DP band shrinks to the differing core (measured ~5× fewer
+    cells on real day logs).
+    """
+    limit = min(len(a), len(b))
+    prefix = 0
+    while prefix < limit and a[prefix] == b[prefix]:
+        prefix += 1
+    suffix = 0
+    limit -= prefix
+    while suffix < limit and a[len(a) - 1 - suffix] == b[len(b) - 1 - suffix]:
+        suffix += 1
+    return a[prefix:len(a) - suffix], b[prefix:len(b) - suffix]
+
+
+def prepared_similar(
+    a: PreparedText,
+    b: PreparedText,
+    threshold: float = DEFAULT_STREAK_THRESHOLD,
+) -> bool:
+    """The similarity test on prepared texts — the kernel's hot path.
+
+    Decision-identical to :func:`stripped_similar` on the underlying
+    texts (property-tested); the filter chain documented in the module
+    docstring only changes *how fast* the answer arrives.
+    """
+    counters = SIMILARITY_COUNTERS
+    counters.comparisons += 1
+    if a.text == b.text:
+        counters.equal_accepts += 1
+        return True  # exact repeats are common in real logs
+    longest = a.length if a.length > b.length else b.length
+    budget = int(longest * threshold)
+    difference = a.length - b.length
+    if (difference if difference > 0 else -difference) > budget:
+        counters.length_rejects += 1
+        return False
+    if bag_distance_bound(a.freq, b.freq) > budget:
+        counters.bag_rejects += 1
+        return False
+    trimmed_a, trimmed_b = _strip_common_affixes(a.text, b.text)
+    if max(len(trimmed_a), len(trimmed_b)) <= budget:
+        # Distance ≤ max remainder length (delete one side, insert the
+        # other — an upper bound), already within budget: similar.
+        counters.trim_accepts += 1
+        return True
+    counters.dp_runs += 1
+    return levenshtein(trimmed_a, trimmed_b, max_distance=budget) is not None
+
+
 def stripped_similar(
     stripped_a: str, stripped_b: str, threshold: float = DEFAULT_STREAK_THRESHOLD
 ) -> bool:
@@ -178,15 +400,36 @@ def stripped_similar(
 
     The single definition shared by :class:`StreakDetector` and
     :class:`StreakAccumulator` — both must agree on every pair, or
-    sharded detection could diverge from the serial scan.
+    sharded detection could diverge from the serial scan.  Delegates to
+    :func:`prepared_similar`; callers comparing one text against many
+    should prepare it once instead.
+    """
+    return prepared_similar(
+        PreparedText(stripped_a), PreparedText(stripped_b), threshold
+    )
+
+
+def _similar_reference(
+    stripped_a: str, stripped_b: str, threshold: float = DEFAULT_STREAK_THRESHOLD
+) -> bool:
+    """The pre-prefilter kernel, kept verbatim as the correctness oracle.
+
+    ``tests/test_streak_prefilters.py`` property-tests
+    :func:`stripped_similar` against this on arbitrary pairs — the
+    filter chain must never flip a decision.
     """
     if stripped_a == stripped_b:
-        return True  # exact repeats are common in real logs
+        return True
     longest = max(len(stripped_a), len(stripped_b))
     if longest == 0:
         return True
     budget = int(longest * threshold)
-    return levenshtein(stripped_a, stripped_b, max_distance=budget) is not None
+    a, b = stripped_a, stripped_b
+    if len(a) > len(b):
+        a, b = b, a
+    if len(b) - len(a) > budget:
+        return False
+    return _levenshtein_banded(a, b, budget) is not None
 
 
 def queries_similar(
@@ -235,7 +478,7 @@ class StreakDetector:
         self.window = window
         self.threshold = threshold
         self.finished: List[Streak] = []
-        self._active: List[Streak] = []
+        self._active: List[Tuple[Streak, PreparedText]] = []
         self._position = -1
 
     def push(self, query_text: str) -> None:
@@ -243,28 +486,42 @@ class StreakDetector:
         self._position += 1
         position = self._position
         # Retire streaks that fell out of the window.
-        still_active: List[Streak] = []
-        for streak in self._active:
-            if position - streak.end > self.window:
-                self.finished.append(streak)
+        still_active: List[Tuple[Streak, PreparedText]] = []
+        for entry in self._active:
+            if position - entry[0].end > self.window:
+                self.finished.append(entry[0])
             else:
-                still_active.append(streak)
+                still_active.append(entry)
         self._active = still_active
 
-        stripped = strip_prefixes(query_text)
+        prepared = PreparedText.from_raw(query_text)
+        # Distinct active streaks often share a tail (the query that
+        # extended them all); decide once per distinct tail text.
+        decisions: Dict[str, bool] = {}
         extended = False
-        for streak in self._active:
-            if self._similar(streak.tail_stripped, stripped):
+        for index, (streak, tail) in enumerate(self._active):
+            key = tail.text
+            if key in decisions:
+                verdict = decisions[key]
+                SIMILARITY_COUNTERS.memo_hits += 1
+            else:
+                verdict = prepared_similar(tail, prepared, self.threshold)
+                decisions[key] = verdict
+            if verdict:
                 streak.indices.append(position)
                 streak.tail_text = query_text
-                streak.tail_stripped = stripped
+                streak.tail_stripped = prepared.text
+                self._active[index] = (streak, prepared)
                 extended = True
         if not extended:
             self._active.append(
-                Streak(
-                    indices=[position],
-                    tail_text=query_text,
-                    tail_stripped=stripped,
+                (
+                    Streak(
+                        indices=[position],
+                        tail_text=query_text,
+                        tail_stripped=prepared.text,
+                    ),
+                    prepared,
                 )
             )
 
@@ -273,7 +530,7 @@ class StreakDetector:
 
     def close(self) -> List[Streak]:
         """Flush still-active streaks and return every streak found."""
-        self.finished.extend(self._active)
+        self.finished.extend(streak for streak, _ in self._active)
         self._active = []
         return self.finished
 
@@ -315,6 +572,11 @@ class _Chain:
 
     positions: List[int]
     tail: str
+    #: Cached similarity features of ``tail``; derived state, excluded
+    #: from equality and snapshots, rebuilt lazily after a reload.
+    prepared: Optional[PreparedText] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def start(self) -> int:
@@ -331,9 +593,20 @@ class _Chain:
         """Number of member queries."""
         return len(self.positions)
 
+    def tail_prepared(self) -> PreparedText:
+        """The prepared form of ``tail``, (re)built if stale or absent."""
+        prepared = self.prepared
+        if prepared is None or prepared.text != self.tail:
+            prepared = self.prepared = PreparedText(self.tail)
+        return prepared
+
     def copy(self) -> "_Chain":
         """An independent deep copy."""
-        return _Chain(positions=list(self.positions), tail=self.tail)
+        return _Chain(
+            positions=list(self.positions),
+            tail=self.tail,
+            prepared=self.prepared,
+        )
 
 
 class StreakAccumulator:
@@ -386,7 +659,9 @@ class StreakAccumulator:
     algorithm change.
     """
 
-    __slots__ = ("window", "threshold", "length", "head", "chains", "closed")
+    __slots__ = (
+        "window", "threshold", "length", "head", "chains", "closed", "_boundary"
+    )
 
     def __init__(
         self,
@@ -401,31 +676,50 @@ class StreakAccumulator:
         self.head: List[str] = []
         self.chains: List[_Chain] = []
         self.closed: Counter = Counter()  # streak length -> count
+        #: Optional worker-precomputed decision table for the *next*
+        #: chunk's head: (our chain tail, their stripped head text) ->
+        #: similar?  Derived state — see :meth:`precompute_boundary`.
+        self._boundary: Optional[Dict[Tuple[str, str], bool]] = None
 
     # -- feeding ---------------------------------------------------------
 
     def push(self, query_text: str) -> None:
         """Feed the next query of the ordered stream."""
-        stripped = strip_prefixes(query_text)
+        prepared = PreparedText.from_raw(query_text)
         position = self.length
         self.length += 1
         if position < self.window:
-            self.head.append(stripped)
+            self.head.append(prepared.text)
         # Retire chains that fell out of the window (mirrors
         # StreakDetector.push); head-founded ones stay as records
         # because a future left-hand merge may still absorb them.
+        # Chains sharing a tail (extended by the same query) share one
+        # decision, so memoize per distinct tail text within the push.
+        decisions: Dict[str, bool] = {}
         extended = False
         for chain in self.chains:
             gap = position - chain.end
             if gap > self.window:
                 continue  # retired (kept or already counted below)
-            if stripped_similar(chain.tail, stripped, self.threshold):
+            key = chain.tail
+            if key in decisions:
+                verdict = decisions[key]
+                SIMILARITY_COUNTERS.memo_hits += 1
+            else:
+                verdict = prepared_similar(
+                    chain.tail_prepared(), prepared, self.threshold
+                )
+                decisions[key] = verdict
+            if verdict:
                 chain.positions.append(position)
-                chain.tail = stripped
+                chain.tail = prepared.text
+                chain.prepared = prepared
                 extended = True
         self._sweep_closed()
         if not extended:
-            self.chains.append(_Chain(positions=[position], tail=stripped))
+            self.chains.append(
+                _Chain(positions=[position], tail=prepared.text, prepared=prepared)
+            )
 
     def _sweep_closed(self) -> None:
         """Move dead, non-head-founded chains into the histogram.
@@ -454,7 +748,50 @@ class StreakAccumulator:
         duplicate.head = list(self.head)
         duplicate.chains = [chain.copy() for chain in self.chains]
         duplicate.closed = Counter(self.closed)
+        duplicate._boundary = (
+            dict(self._boundary) if self._boundary is not None else None
+        )
         return duplicate
+
+    def precompute_boundary(self, lookahead: Sequence[str]) -> None:
+        """Precompute the decisions a right-hand stitch will ask for.
+
+        *lookahead* is the raw text of the first ``window`` queries of
+        the stream slice that directly follows ours — i.e. the next
+        chunk's ``head``.  A worker that already holds both can score
+        every (open chain tail, head text) pair the parent's
+        :meth:`merge` scan will evaluate, moving that work off the
+        serial merge path.  The table is consulted with an exact
+        fallback on miss (chains stitched through from *earlier* chunks
+        carry tails this worker never saw), so byte-identity is trivial:
+        the same :func:`prepared_similar` computes both sides.
+
+        The scan order and early-``break`` mirror :meth:`merge` exactly,
+        which also means no decision is computed that the merge could
+        not ask for.  Reach arithmetic is frame-independent: at merge
+        time the gap to a chain is ``merged_length - shifted_end``,
+        equal to our local ``length - end``.
+        """
+        table: Dict[Tuple[str, str], bool] = {}
+        prepared_head = [
+            PreparedText.from_raw(text) for text in lookahead[: self.window]
+        ]
+        for chain in self.chains:
+            reach = self.window - (self.length - chain.end)
+            if reach < 0:
+                continue  # retired: the stitch will skip it too
+            tail = chain.tail_prepared()
+            for prepared in prepared_head[: reach + 1]:
+                key = (tail.text, prepared.text)
+                if key in table:
+                    verdict = table[key]
+                else:
+                    verdict = table[key] = prepared_similar(
+                        tail, prepared, self.threshold
+                    )
+                if verdict:
+                    break
+        self._boundary = table
 
     def merge(self, other: "StreakAccumulator") -> "StreakAccumulator":
         """Stitch *other* — the accumulator of the stream slice that
@@ -488,15 +825,36 @@ class StreakAccumulator:
                     break
                 position_index.setdefault(position, (chain, index))
 
-        # Scan the right head once per incoming open chain.
+        # Scan the right head once per incoming open chain.  Workers
+        # precompute these decisions against their successor's head
+        # (see precompute_boundary); the table is authoritative on hit —
+        # same prepared_similar, same inputs — and misses (tails
+        # stitched through from earlier chunks) fall back to computing
+        # the decision here.
+        boundary = self._boundary
         absorbed_founders = set()
         extensions: List[Tuple[_Chain, int]] = []
+        prepared_head: List[Optional[PreparedText]] = [None] * len(other.head)
         for chain in self.chains:
             reach = window - (offset - chain.end)
             if reach < 0:
                 continue  # retired: no future query can reach it
+            tail = chain.tail
+            tail_prepared: Optional[PreparedText] = None
             for position, stripped in enumerate(other.head[: reach + 1]):
-                if stripped_similar(chain.tail, stripped, self.threshold):
+                if boundary is not None and (tail, stripped) in boundary:
+                    verdict = boundary[(tail, stripped)]
+                    SIMILARITY_COUNTERS.boundary_hits += 1
+                else:
+                    if tail_prepared is None:
+                        tail_prepared = chain.tail_prepared()
+                    candidate = prepared_head[position]
+                    if candidate is None:
+                        candidate = prepared_head[position] = PreparedText(stripped)
+                    verdict = prepared_similar(
+                        tail_prepared, candidate, self.threshold
+                    )
+                if verdict:
                     extensions.append((chain, position))
                     break
         for chain, position in extensions:
@@ -516,6 +874,7 @@ class StreakAccumulator:
                 member + offset for member in source.positions[index:]
             )
             chain.tail = source.tail
+            chain.prepared = source.prepared
 
         # Assemble: surviving right-hand chains shift into our frame.
         merged = list(self.chains)
@@ -526,12 +885,16 @@ class StreakAccumulator:
                 _Chain(
                     positions=[member + offset for member in chain.positions],
                     tail=chain.tail,
+                    prepared=chain.prepared,
                 )
             )
         self.closed.update(other.closed)
         self.length += other.length
         if offset < window:
             self.head.extend(other.head[: window - offset])
+        # The next stitch scans the head of *other*'s successor; adopt
+        # its precomputed decisions (None if it had none).
+        self._boundary = other._boundary
 
         # Canonicalize: founding order, and close everything that is
         # now neither open nor head-founded.

@@ -47,7 +47,12 @@ from .analysis.context import (
     AnalysisOptions,
 )
 from .analysis.parallel import build_query_logs_parallel
-from .analysis.passes import PassProfile, resolve_passes, resolve_sequence_passes
+from .analysis.passes import (
+    PassProfile,
+    resolve_passes,
+    resolve_sequence_passes,
+    sequence_only_selection,
+)
 from .analysis.snapshot import load_study, save_study
 from .analysis.streaks import DEFAULT_STREAK_THRESHOLD, DEFAULT_STREAK_WINDOW
 from .analysis.study import CorpusStudy, study_corpus
@@ -109,6 +114,19 @@ class AnalysisRequest:
     chunk_size: Optional[int] = None
     #: Extra PREFIX declarations assumed by the endpoint's parser.
     extra_prefixes: Optional[Mapping[str, str]] = None
+    #: Lean ingestion: skip SPARQL parsing, deduplication and AST
+    #: retention — only legal when *metrics* selects sequence passes
+    #: exclusively (they read the raw ordered stream).  ``None`` (the
+    #: default) auto-enables lean mode for exactly those selections;
+    #: ``False`` forces full ingestion, ``True`` asserts lean and
+    #: fails validation if a per-query pass is also selected.
+    lean: Optional[bool] = None
+
+    def lean_ingestion(self) -> bool:
+        """Whether this request ingests leanly (see :attr:`lean`)."""
+        if self.lean is not None:
+            return self.lean
+        return sequence_only_selection(self.metrics)
 
     def options(self) -> AnalysisOptions:
         """The per-query analysis options this request implies."""
@@ -119,6 +137,7 @@ class AnalysisRequest:
             profile=self.profile,
             streak_window=self.streak_window,
             streak_threshold=self.streak_threshold,
+            lean_ingestion=self.lean_ingestion(),
         )
 
     def validate(self) -> None:
@@ -145,6 +164,18 @@ class AnalysisRequest:
                 f"got {self.streak_threshold}"
             )
         resolve_passes(self.metrics)  # unknown metric names raise here
+        if self.lean:
+            if not resolve_sequence_passes(self.metrics):
+                raise ValueError(
+                    "lean ingestion requires a sequence metric "
+                    "(e.g. metrics=('streaks',))"
+                )
+            if not sequence_only_selection(self.metrics):
+                raise ValueError(
+                    "lean ingestion skips parsing, but the selected "
+                    "metrics include per-query passes that need parsed "
+                    "queries; drop them or use lean=False"
+                )
         if self.inputs:
             seen: Dict[str, PathLike] = {}
             for path in self.inputs:
@@ -261,7 +292,9 @@ class AnalysisSession:
         Sequence metrics (``streaks``) are computed here — the ordered
         raw stream no longer exists after deduplication — by the
         chunked driver, whose per-chunk accumulators stitch back to the
-        exact serial scan."""
+        exact serial scan.  A sequence-only selection ingests leanly by
+        default (no parse/dedup/AST retention; see
+        :attr:`AnalysisRequest.lean`)."""
         corpora = self._resolve_corpora(request)
         prefixes = dict(request.extra_prefixes) if request.extra_prefixes else None
         sequences = resolve_sequence_passes(request.metrics)

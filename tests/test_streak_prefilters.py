@@ -1,0 +1,157 @@
+"""The streak similarity prefilter chain is exact (ISSUE 6).
+
+The fast kernel (:func:`repro.analysis.streaks.prepared_similar`) may
+settle a pair by equality, length difference, the bag-of-characters
+bound, or the common-affix upper bound before any DP runs — but every
+one of those shortcuts must be a *provable* bound on the edit
+distance.  These properties pin that down against hypothesis-generated
+pairs and real log pairs:
+
+* the bag bound never exceeds the true Levenshtein distance (so a
+  bag-reject can never kill a pair the DP would accept);
+* the filtered kernel decides every pair exactly like the
+  pre-prefilter reference kernel;
+* the bit-parallel distance engine equals the full O(n²) DP;
+* worker-precomputed boundary tables leave merges byte-identical;
+* lean-mode ``repro streaks`` output is byte-identical to
+  full-ingestion output.
+"""
+
+import io
+import contextlib
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.streaks import (
+    PreparedText,
+    SIMILARITY_COUNTERS,
+    StreakAccumulator,
+    _levenshtein_full,
+    _similar_reference,
+    bag_distance_bound,
+    levenshtein,
+    prepared_similar,
+    strip_prefixes,
+    stripped_similar,
+)
+from repro.api import analyze_corpora
+from repro.cli import main
+from repro.workload import generate_day_log
+
+# Small alphabet: collisions (equal bags, shared affixes, near misses)
+# are what stress the filter chain, not character diversity.
+_texts = st.text(alphabet=string.ascii_lowercase[:6] + " {}?", max_size=40)
+_thresholds = st.sampled_from([0.0, 0.1, 0.25, 0.5, 1.0])
+
+
+@given(_texts, _texts)
+def test_bag_bound_is_a_lower_bound(a, b):
+    """bag_distance_bound(a, b) <= levenshtein(a, b), always."""
+    bound = bag_distance_bound(PreparedText(a).freq, PreparedText(b).freq)
+    assert bound <= _levenshtein_full(a, b)
+
+
+@given(_texts, _texts, _thresholds)
+def test_prefilters_never_flip_a_decision(a, b, threshold):
+    """Filtered kernel ≡ pre-prefilter reference kernel, any pair."""
+    assert stripped_similar(a, b, threshold) == _similar_reference(
+        a, b, threshold
+    )
+
+
+@given(_texts, _texts)
+def test_bitparallel_distance_equals_full_dp(a, b):
+    """The Myers engine computes the exact Levenshtein distance."""
+    assert levenshtein(a, b) == _levenshtein_full(a, b)
+
+
+@given(_texts, _texts, st.integers(0, 12))
+def test_bounded_distance_agrees_with_full_dp(a, b, max_distance):
+    """levenshtein(..., max_distance=k) is exact on both sides of k."""
+    full = _levenshtein_full(a, b)
+    expected = full if full <= max_distance else None
+    assert levenshtein(a, b, max_distance=max_distance) == expected
+
+
+@given(st.lists(_texts, max_size=60), st.integers(1, 8), st.integers(1, 20))
+@settings(max_examples=50, deadline=None)
+def test_boundary_tables_leave_merges_byte_identical(texts, window, cut):
+    """Merging with a precomputed boundary table equals merging without."""
+    cut = min(cut, len(texts))
+    plain_left = StreakAccumulator(window=window)
+    primed_left = StreakAccumulator(window=window)
+    for text in texts[:cut]:
+        plain_left.push(text)
+        primed_left.push(text)
+    primed_left.precompute_boundary(texts[cut:cut + window])
+    right = StreakAccumulator(window=window)
+    for text in texts[cut:]:
+        right.push(text)
+    assert primed_left.merge(right.copy()) == plain_left.merge(right)
+    assert primed_left.to_dict() == plain_left.to_dict()
+
+
+def test_prepared_similar_matches_stripped_similar_on_log_pairs():
+    """Real log pairs through both entry points, plus counter sanity."""
+    stripped = [strip_prefixes(q) for q in generate_day_log(120, seed=3)]
+    pairs = [(a, b) for a in stripped[:40] for b in stripped[40:80]]
+    SIMILARITY_COUNTERS.reset()
+    for a, b in pairs:
+        assert prepared_similar(
+            PreparedText(a), PreparedText(b)
+        ) == _similar_reference(a, b)
+    counters = SIMILARITY_COUNTERS.to_dict()
+    settled = (
+        counters["equal_accepts"]
+        + counters["length_rejects"]
+        + counters["bag_rejects"]
+        + counters["trim_accepts"]
+        + counters["dp_runs"]
+    )
+    assert counters["comparisons"] == len(pairs) == settled
+
+
+def test_lean_mode_streak_state_is_byte_identical():
+    """Lean and full ingestion agree on everything but Valid/Unique."""
+    log = generate_day_log(150, session_rate=0.4, seed=11)
+    lean = analyze_corpora({"day": log}, metrics=("streaks",), lean=True)
+    full = analyze_corpora({"day": log}, metrics=("streaks",), lean=False)
+    assert (
+        lean.study.datasets["day"].streaks == full.study.datasets["day"].streaks
+    )
+    assert (
+        lean.study.datasets["day"].streaks.to_dict()
+        == full.study.datasets["day"].streaks.to_dict()
+    )
+    assert lean.study.datasets["day"].total == len(log)
+    assert lean.study.datasets["day"].valid == 0  # parse never ran
+    assert full.study.datasets["day"].valid > 0
+
+
+def test_lean_cli_streaks_output_byte_identical():
+    """End to end: `repro streaks` lean vs --full-ingestion bytes."""
+    outputs = {}
+    for label, extra in (("lean", []), ("full", ["--full-ingestion"])):
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = main(
+                ["streaks", "--synthetic", "300", "--seed", "2016", *extra]
+            )
+        assert code == 0
+        outputs[label] = buffer.getvalue()
+    assert outputs["lean"] == outputs["full"]
+    assert "Table 6" in outputs["lean"]
+
+
+def test_lean_requires_sequence_only_metrics():
+    """lean=True with per-query passes must fail validation loudly."""
+    import pytest
+
+    with pytest.raises(ValueError, match="per-query passes"):
+        analyze_corpora(
+            {"day": ["ASK { ?s ?p ?o }"]}, metrics=("shallow", "streaks"),
+            lean=True,
+        )
+    with pytest.raises(ValueError, match="sequence metric"):
+        analyze_corpora({"day": ["ASK { ?s ?p ?o }"]}, lean=True)
