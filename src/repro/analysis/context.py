@@ -105,6 +105,13 @@ class AnalysisOptions:
     #: ingestion drivers only when the selected metrics contain no
     #: per-query pass (per-query passes need parsed ASTs).
     lean_ingestion: bool = False
+    #: Path of the persistent cross-run structure store (SQLite; see
+    #: :mod:`repro.analysis.structure_store`).  ``None`` (the default)
+    #: keeps the cache purely in-memory.  The store is transparent —
+    #: warm, cold and store-less runs are byte-identical — and
+    #: expendable: an unusable file degrades to a cold run with a
+    #: warning.
+    structure_cache_path: Optional[str] = None
 
 
 #: Default options instance shared by every driver entry point.

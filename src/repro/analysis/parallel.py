@@ -62,6 +62,13 @@ from .passes import (
     resolve_sequence_passes,
     run_passes,
 )
+from .streaks import SIMILARITY_COUNTERS
+from .structure_store import (
+    StoreBackedStructureCache,
+    StructureStore,
+    open_structure_cache,
+    pending_rows,
+)
 from .study import CorpusStudy, DatasetStats, _claim_streaks
 
 __all__ = [
@@ -196,6 +203,36 @@ def _ingest_chunk(
     return process_entries(texts, extra_prefixes=extra_prefixes, cache=cache)
 
 
+def _ingest_scored(
+    name: str,
+    texts: List[str],
+    extra_prefixes: Optional[Dict[str, str]],
+    options: Optional[AnalysisOptions],
+    lookahead: Optional[List[str]],
+    cache: Optional[ParseCache],
+) -> Tuple[str, LogShard, Optional[Dict[str, int]]]:
+    """Ingest one chunk, capturing the similarity-counter delta it caused.
+
+    :data:`~repro.analysis.streaks.SIMILARITY_COUNTERS` is per-process
+    state; without this capture, counter work done on pool workers
+    would silently vanish from the parent's numbers (under-reporting
+    ``dp_skip_rate`` in profiled sharded runs).  The capture is
+    transactional — snapshot, scan, delta, restore — so a chunk counts
+    exactly once whether it ran on a worker or (the collapsed or
+    ``workers=1`` fallbacks) in the parent process itself, where the
+    parent later :meth:`adds <repro.analysis.streaks
+    .SimilarityCounters.add>` the shipped delta unconditionally.
+    """
+    if options is None:
+        return name, _ingest_chunk(texts, extra_prefixes, None, cache), None
+    before = SIMILARITY_COUNTERS.to_dict()
+    shard = _ingest_chunk(texts, extra_prefixes, options, cache)
+    shard = _attach_sequences(shard, texts, options, lookahead)
+    delta = SIMILARITY_COUNTERS.delta_since(before)
+    SIMILARITY_COUNTERS.restore(before)
+    return name, shard, delta
+
+
 def _parse_chunk(
     payload: Tuple[
         str,
@@ -204,10 +241,11 @@ def _parse_chunk(
         Optional[AnalysisOptions],
         Optional[List[str]],
     ],
-) -> Tuple[str, LogShard]:
+) -> Tuple[str, LogShard, Optional[Dict[str, int]]]:
     name, texts, extra_prefixes, options, lookahead = payload
-    shard = _ingest_chunk(texts, extra_prefixes, options, _WORKER_PARSE_CACHE)
-    return name, _attach_sequences(shard, texts, options, lookahead)
+    return _ingest_scored(
+        name, texts, extra_prefixes, options, lookahead, _WORKER_PARSE_CACHE
+    )
 
 
 #: Per-worker structural-signature cache, created by the pool
@@ -220,17 +258,21 @@ _WORKER_STRUCTURE_CACHE: Optional[StructureCache] = None
 
 
 def _init_measure_worker(options: AnalysisOptions) -> None:
+    # Workers attach to the persistent structure store (if configured)
+    # read-only: the parent is the only writer, flushing the pending
+    # rows the workers ship back alongside their partial studies.
     global _WORKER_STRUCTURE_CACHE
-    _WORKER_STRUCTURE_CACHE = StructureCache(options.cache_size)
+    _WORKER_STRUCTURE_CACHE = open_structure_cache(options, readonly=True)
 
 
 def _measure_chunk(
     payload: Tuple[str, List[ParsedQuery], bool, AnalysisOptions],
-) -> CorpusStudy:
+) -> Tuple[CorpusStudy, List[Tuple[str, str, str]]]:
     dataset, queries, dedup, options = payload
-    return measure_chunk(
+    study = measure_chunk(
         dataset, queries, dedup=dedup, options=options, cache=_WORKER_STRUCTURE_CACHE
     )
+    return study, pending_rows(_WORKER_STRUCTURE_CACHE)
 
 
 #: Logs shared with fork-started measure workers through inherited
@@ -246,16 +288,19 @@ _SHARED_LOGS: Optional[Mapping[str, QueryLog]] = None
 _SHARED_LOGS_LOCK = threading.Lock()
 
 
-def _measure_slice(payload: Tuple[str, int, int, bool, AnalysisOptions]) -> CorpusStudy:
+def _measure_slice(
+    payload: Tuple[str, int, int, bool, AnalysisOptions],
+) -> Tuple[CorpusStudy, List[Tuple[str, str, str]]]:
     name, start, stop, dedup, options = payload
     assert _SHARED_LOGS is not None
-    return measure_chunk(
+    study = measure_chunk(
         name,
         _SHARED_LOGS[name].parsed[start:stop],
         dedup=dedup,
         options=options,
         cache=_WORKER_STRUCTURE_CACHE,
     )
+    return study, pending_rows(_WORKER_STRUCTURE_CACHE)
 
 
 def measure_chunk(
@@ -277,6 +322,7 @@ def measure_chunk(
     profile = PassProfile() if options.profile else None
     hits_before = cache.hits if cache is not None else 0
     misses_before = cache.misses if cache is not None else 0
+    store_before = getattr(cache, "store_hits", 0)
     study = CorpusStudy(dedup=dedup)
     stats = DatasetStats(name=dataset)
     study.datasets[dataset] = stats
@@ -295,6 +341,7 @@ def measure_chunk(
         if cache is not None:
             profile.cache_hits = cache.hits - hits_before
             profile.cache_misses = cache.misses - misses_before
+            profile.store_hits = getattr(cache, "store_hits", 0) - store_before
         study.pass_profile = profile
     return study
 
@@ -507,18 +554,22 @@ def build_query_logs_parallel(
         def parse_chunk(payload):
             """Parse one chunk in-process, sharing the run-local cache."""
             name, texts, prefixes, chunk_options, lookahead = payload
-            shard = _ingest_chunk(texts, prefixes, chunk_options, cache)
-            return name, _attach_sequences(shard, texts, chunk_options, lookahead)
+            return _ingest_scored(name, texts, prefixes, chunk_options, lookahead, cache)
 
         worker_fn, initializer = parse_chunk, None
     else:
         worker_fn, initializer = _parse_chunk, _init_parse_worker
 
     merged: Dict[str, LogShard] = {name: LogShard() for name in corpora}
-    for name, shard in imap_bounded(
+    for name, shard, counter_delta in imap_bounded(
         worker_fn, payloads(), workers, initializer=initializer
     ):
         merged[name].merge(shard)
+        if counter_delta is not None:
+            # Fold the chunk's similarity-counter work into the parent's
+            # per-process counters; without this, instrumentation done on
+            # pool workers would be silently dropped from sharded runs.
+            SIMILARITY_COUNTERS.add(counter_delta)
     if options is not None:
         # An empty corpus yields zero chunks and therefore no worker-built
         # accumulators; selected sequence metrics must still come back as
@@ -574,6 +625,40 @@ def study_corpus_parallel(
     workers = resolve_workers(workers)
     if options is None:
         options = DEFAULT_OPTIONS
+    store: Optional[StructureStore] = None
+    if options.structure_cache_path is not None:
+        # The parent is the store's single writer.  Open (initializing
+        # the schema if needed) *before* any pool work is submitted, so
+        # the read-only worker attachments always find a valid file.  A
+        # degraded open runs the whole study cold: strip the path so
+        # every worker doesn't re-warn about the same broken file.
+        store = StructureStore.open(options.structure_cache_path)
+        if store is None:
+            options = replace(options, structure_cache_path=None)
+    try:
+        return _study_corpus_parallel(
+            logs, dedup, workers, chunk_size, options, store
+        )
+    finally:
+        if store is not None:
+            store.close()
+
+
+def _study_corpus_parallel(
+    logs: Mapping[str, QueryLog],
+    dedup: bool,
+    workers: int,
+    chunk_size: Optional[int],
+    options: AnalysisOptions,
+    store: Optional[StructureStore],
+) -> CorpusStudy:
+    """The driver body behind :func:`study_corpus_parallel`.
+
+    *store* (when given) is the parent's writable handle on the
+    persistent structure store: every merged chunk's pending rows are
+    flushed through it at the chunk boundary — batched upserts, so
+    duplicate discoveries across workers are harmless.
+    """
     study = CorpusStudy(dedup=dedup)
     size = chunk_size
     if size is None:
@@ -603,10 +688,12 @@ def study_corpus_parallel(
         with _SHARED_LOGS_LOCK:
             _SHARED_LOGS = logs
             try:
-                for shard in imap_bounded(
+                for shard, rows in imap_bounded(
                     _measure_slice, slice_payloads(), workers, initializer=initializer
                 ):
                     study.merge(shard)
+                    if store is not None:
+                        store.put_many(rows)
             finally:
                 _SHARED_LOGS = None
         return study
@@ -615,16 +702,23 @@ def study_corpus_parallel(
         # In-process: one run-local cache shared across all chunks and
         # datasets, like the serial study — duplicate shapes reuse
         # their structure results.  Run-local (not module state), so
-        # successive runs with different options can't interfere.
-        run_cache = StructureCache(options.cache_size)
+        # successive runs with different options can't interfere.  With
+        # a store, the run cache reads *and* queues writes through the
+        # parent handle directly.
+        run_cache: StructureCache
+        if store is not None:
+            run_cache = StoreBackedStructureCache(options.cache_size, store)
+        else:
+            run_cache = StructureCache(options.cache_size)
 
         def measure_payload(payload):
             """Measure one chunk in-process, sharing the run-local cache."""
             name, chunk, payload_dedup, payload_options = payload
-            return measure_chunk(
+            partial_study = measure_chunk(
                 name, chunk, dedup=payload_dedup, options=payload_options,
                 cache=run_cache,
             )
+            return partial_study, pending_rows(run_cache)
 
         worker_fn = measure_payload
     else:
@@ -636,6 +730,10 @@ def study_corpus_parallel(
             for chunk in iter_chunks(log.unique_queries(), size):
                 yield (name, chunk, dedup, options)
 
-    for shard in imap_bounded(worker_fn, payloads(), workers, initializer=initializer):
+    for shard, rows in imap_bounded(
+        worker_fn, payloads(), workers, initializer=initializer
+    ):
         study.merge(shard)
+        if store is not None:
+            store.put_many(rows)
     return study

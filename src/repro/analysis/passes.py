@@ -393,6 +393,9 @@ class PassProfile:
     queries: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Lookups served from the persistent structure store (a subset of
+    #: ``cache_misses``: the in-memory LRU missed, the disk layer hit).
+    store_hits: int = 0
 
     def merge(self, other: "PassProfile") -> "PassProfile":
         """Fold another profile's timings and cache stats into this one."""
@@ -401,6 +404,7 @@ class PassProfile:
         self.queries += other.queries
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.store_hits += other.store_hits
         return self
 
     @property

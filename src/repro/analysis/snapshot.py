@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Union
 
 from ..exceptions import StudySnapshotError
+from ..ioutils import atomic_write_text
 from .passes import PassProfile
 from .streaks import StreakAccumulator, _Chain
 from .study import CorpusStudy, DatasetStats
@@ -291,6 +292,7 @@ def profile_to_dict(profile: PassProfile) -> Dict[str, Any]:
         "queries": profile.queries,
         "cache_hits": profile.cache_hits,
         "cache_misses": profile.cache_misses,
+        "store_hits": profile.store_hits,
     }
 
 
@@ -304,11 +306,17 @@ def profile_from_dict(data: Any) -> PassProfile:
         for name, elapsed in seconds.items()
     ):
         raise StudySnapshotError("pass profile: 'seconds' must map pass names to numbers")
+    # ``store_hits`` arrived with the persistent structure store;
+    # profiles snapshotted before it simply read 0.
+    store_hits = data.get("store_hits", 0)
+    if not isinstance(store_hits, int) or isinstance(store_hits, bool):
+        raise StudySnapshotError("pass profile: 'store_hits' must be an integer")
     return PassProfile(
         seconds={name: float(elapsed) for name, elapsed in seconds.items()},
         queries=_require_int(data, "queries", "pass profile"),
         cache_hits=_require_int(data, "cache_hits", "pass profile"),
         cache_misses=_require_int(data, "cache_misses", "pass profile"),
+        store_hits=store_hits,
     )
 
 
@@ -478,9 +486,14 @@ def study_from_dict(data: Any) -> CorpusStudy:
 
 
 def save_study(study: CorpusStudy, path: Union[str, Path]) -> None:
-    """Write *study* to *path* as a pretty-printed JSON snapshot."""
+    """Write *study* to *path* as a pretty-printed JSON snapshot.
+
+    The write is atomic (same-directory temp file + rename): a crash or
+    interrupt mid-save leaves the previous snapshot intact rather than
+    a truncated file that :func:`load_study` would reject.
+    """
     payload = json.dumps(study_to_dict(study), indent=2)
-    Path(path).write_text(payload + "\n", encoding="utf-8")
+    atomic_write_text(path, payload + "\n")
 
 
 def load_study(path: Union[str, Path]) -> CorpusStudy:

@@ -270,6 +270,30 @@ class SimilarityCounters:
         """Plain-dict snapshot, JSON-ready for bench payloads."""
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
+    def delta_since(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Per-field increments since a :meth:`to_dict` snapshot.
+
+        The transactional capture the sharded drivers use: snapshot,
+        process a chunk, take the delta, :meth:`restore` the snapshot,
+        and ship the delta to the parent — which :meth:`add`\\ s it
+        unconditionally.  In-process and pool-worker chunks then count
+        exactly once each, wherever they ran.
+        """
+        return {
+            name: getattr(self, name) - before[name]
+            for name in self.__dataclass_fields__
+        }
+
+    def restore(self, values: Dict[str, int]) -> None:
+        """Reset every counter to a :meth:`to_dict` snapshot."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, values[name])
+
+    def add(self, delta: Dict[str, int]) -> None:
+        """Fold a shipped per-chunk delta into this process's counters."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + delta.get(name, 0))
+
     @property
     def dp_skip_rate(self) -> float:
         """Fraction of comparisons settled without running the DP."""

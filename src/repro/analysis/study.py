@@ -542,30 +542,41 @@ def study_corpus(
             logs, dedup=dedup, workers=workers, chunk_size=chunk_size, options=options
         )
     passes = resolve_passes(options.metrics)
-    cache = StructureCache(options.cache_size)
+    # With ``options.structure_cache_path`` set, the run cache is
+    # backed by the persistent cross-run store (read + write — a serial
+    # run is its own parent); pending rows are flushed on close.  The
+    # store is transparent, so the study is byte-identical either way.
+    from .structure_store import StoreBackedStructureCache, open_structure_cache
+
+    cache = open_structure_cache(options)
     profile = PassProfile() if options.profile else None
     study = CorpusStudy(dedup=dedup)
-    for name, log in logs.items():
-        stats = DatasetStats(
-            name=name, total=log.total, valid=log.valid, unique=log.unique,
-            streaks=_claim_streaks(name, log),
-        )
-        study.datasets[name] = stats
-        for parsed in log.unique_queries():
-            weight = 1 if dedup else parsed.count
-            run_passes(
-                study,
-                stats,
-                parsed,
-                weight,
-                passes=passes,
-                options=options,
-                cache=cache,
-                profile=profile,
+    try:
+        for name, log in logs.items():
+            stats = DatasetStats(
+                name=name, total=log.total, valid=log.valid, unique=log.unique,
+                streaks=_claim_streaks(name, log),
             )
+            study.datasets[name] = stats
+            for parsed in log.unique_queries():
+                weight = 1 if dedup else parsed.count
+                run_passes(
+                    study,
+                    stats,
+                    parsed,
+                    weight,
+                    passes=passes,
+                    options=options,
+                    cache=cache,
+                    profile=profile,
+                )
+    finally:
+        if isinstance(cache, StoreBackedStructureCache):
+            cache.close()
     if profile is not None:
         profile.cache_hits = cache.hits
         profile.cache_misses = cache.misses
+        profile.store_hits = getattr(cache, "store_hits", 0)
         study.pass_profile = profile
     return study
 

@@ -16,6 +16,8 @@ Commands:
   experiment and print Figure 3.
 * ``streaks FILE|--synthetic N`` — detect streaks (Table 6) in an
   ordered query log.
+* ``cache stats|clear PATH`` — inspect or empty a persistent structure
+  cache written by ``analyze --structure-cache``.
 
 The CLI is a thin veneer over :mod:`repro.api`; every command is
 covered by the test suite through :func:`main`.
@@ -29,8 +31,9 @@ import warnings
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .analysis.context import DEFAULT_SHAPE_NODE_LIMIT
+from .analysis.context import DEFAULT_SHAPE_NODE_LIMIT, DEFAULT_STRUCTURE_CACHE_SIZE
 from .analysis.passes import PASS_NAMES, SEQUENCE_PASS_NAMES
+from .analysis.structure_store import StructureStore
 from .analysis.streaks import DEFAULT_STREAK_THRESHOLD, DEFAULT_STREAK_WINDOW
 from .api import AnalysisRequest, AnalysisSession, load_study, merge_studies, save_study
 from .engine import IndexedEngine, NestedLoopEngine
@@ -101,6 +104,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         dedup=not args.keep_duplicates,
         metrics=metrics,
         shape_node_limit=args.shape_node_limit,
+        cache_size=args.cache_size,
         profile=args.profile_passes,
         stream=args.stream,
         workers=args.workers,
@@ -108,6 +112,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         streak_window=args.streak_window,
         streak_threshold=args.streak_threshold,
         lean=args.lean,
+        structure_cache_path=args.structure_cache,
     )
     try:
         result = AnalysisSession().run(request)
@@ -242,10 +247,56 @@ def _cmd_streaks(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect (`stats`) or empty (`clear`) a persistent structure cache."""
+    path = Path(args.store)
+    if not path.exists():
+        print(f"cache: {args.store}: no such file", file=sys.stderr)
+        return 2
+    if args.action == "stats":
+        store = StructureStore.open(path, readonly=True)
+        if store is None:
+            print(f"cache: {args.store} is not a usable structure cache",
+                  file=sys.stderr)
+            return 2
+        stats = store.stats()
+        store.close()
+        print(f"store:           {stats['path']}")
+        print(f"store schema:    {stats['store_schema']}")
+        print(f"code version:    {stats['code_version']}")
+        print(f"entries:         {stats['entries']:,} "
+              f"({stats['size_bytes']:,} bytes on disk)")
+        print(f"  current:       {stats['current']:,} "
+              f"(graphs {stats['graph_entries']:,}, "
+              f"hypergraphs {stats['hypergraph_entries']:,})")
+        print(f"  stale:         {stats['stale']:,} "
+              "(other code versions; never served)")
+        return 0
+    # clear: a corrupt store can't be opened, but clearing one is
+    # exactly what its owner wants — remove the files wholesale.
+    store = StructureStore.open(path)
+    if store is None:
+        for extra in ("", "-wal", "-shm", ".meta.json"):
+            Path(str(path) + extra).unlink(missing_ok=True)
+        print(f"removed unusable cache {args.store}")
+        return 0
+    removed = store.clear()
+    store.close()
+    print(f"cleared {removed:,} entries from {args.store}")
+    return 0
+
+
 def _positive_int(value: str) -> int:
     number = int(value)
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return number
+
+
+def _nonnegative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return number
 
 
@@ -375,6 +426,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "queries are counted and reported)",
     )
     analyze.add_argument(
+        "--cache-size",
+        type=_nonnegative_int,
+        default=DEFAULT_STRUCTURE_CACHE_SIZE,
+        metavar="N",
+        help="capacity of the in-memory structural-signature cache "
+        f"(default {DEFAULT_STRUCTURE_CACHE_SIZE}; 0 disables it — the "
+        "cache is transparent, so results are identical either way)",
+    )
+    analyze.add_argument(
+        "--structure-cache",
+        default=None,
+        metavar="PATH",
+        help="persist structural results (shape/treewidth/hypertree per "
+        "signature) to a SQLite store at PATH, shared across runs: warm "
+        "runs serve repeated shapes from disk and are byte-identical to "
+        "cold ones.  Inspect with `repro cache stats`; an unusable file "
+        "degrades to a cold run with a warning",
+    )
+    analyze.add_argument(
         "--profile-passes",
         action="store_true",
         help="print per-pass wall time and structural-cache hit rate "
@@ -419,6 +489,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_format_option(report)
     report.set_defaults(func=_cmd_report)
+
+    cache = commands.add_parser(
+        "cache",
+        help="inspect or clear a persistent structure cache "
+        "(see `analyze --structure-cache`)",
+    )
+    cache.add_argument(
+        "action",
+        choices=("stats", "clear"),
+        help="stats: entry counts by kind and code version; "
+        "clear: delete every entry (all code versions)",
+    )
+    cache.add_argument(
+        "store",
+        metavar="PATH",
+        help="a store file written by `repro analyze --structure-cache`",
+    )
+    cache.set_defaults(func=_cmd_cache)
 
     corpus = commands.add_parser("corpus", help="generate the synthetic corpus")
     corpus.add_argument("--scale", type=float, default=1e-5)

@@ -1,0 +1,160 @@
+"""Durability tests for everything the package writes to disk.
+
+The contract under test (ISSUE 7 satellite):
+
+* :func:`repro.ioutils.atomic_write_text` publishes the full text or
+  nothing — a failure at any point (including ``KeyboardInterrupt``)
+  leaves the destination untouched and removes the temporary file;
+* :func:`repro.analysis.snapshot.save_study` inherits that guarantee:
+  a save killed mid-write never clobbers or truncates a snapshot that
+  was already on disk, and the survivor still loads.
+"""
+
+import os
+
+import pytest
+
+import repro.ioutils as ioutils
+from repro.analysis.snapshot import load_study, save_study
+from repro.analysis.study import study_corpus
+from repro.ioutils import atomic_write_text
+from repro.logs import build_query_log
+
+QUERIES = [
+    "SELECT ?x WHERE { ?x <urn:p> ?y }",
+    "SELECT DISTINCT ?x WHERE { ?x <urn:p> ?y . ?y <urn:q> ?z }",
+    "ASK { ?s ?p ?o }",
+    "SELECT * WHERE { ?a <urn:p> ?b . ?b <urn:p> ?c . ?c <urn:p> ?a }",
+]
+
+
+def tmp_leftovers(directory):
+    return [p for p in directory.iterdir() if p.suffix == ".tmp"]
+
+
+def small_study(texts):
+    return study_corpus({"alpha": build_query_log("alpha", texts)})
+
+
+class TestAtomicWriteText:
+    def test_writes_exact_text_and_cleans_up(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "hello\nworld\n")
+        assert target.read_text(encoding="utf-8") == "hello\nworld\n"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_overwrites_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old", encoding="utf-8")
+        atomic_write_text(target, "new")
+        assert target.read_text(encoding="utf-8") == "new"
+        assert not tmp_leftovers(tmp_path)
+
+    def test_accepts_str_paths(self, tmp_path):
+        target = tmp_path / "strpath.txt"
+        atomic_write_text(str(target), "via str")
+        assert target.read_text(encoding="utf-8") == "via str"
+
+    @pytest.mark.parametrize(
+        "interrupt", [KeyboardInterrupt, RuntimeError, OSError]
+    )
+    def test_failed_replace_preserves_old_content(
+        self, tmp_path, monkeypatch, interrupt
+    ):
+        target = tmp_path / "out.txt"
+        target.write_text("the old content", encoding="utf-8")
+
+        def exploding_replace(src, dst):
+            raise interrupt("simulated kill mid-write")
+
+        monkeypatch.setattr(ioutils.os, "replace", exploding_replace)
+        with pytest.raises(interrupt):
+            atomic_write_text(target, "half-finished new content")
+        assert target.read_text(encoding="utf-8") == "the old content"
+        assert not tmp_leftovers(tmp_path)
+
+    def test_failure_before_any_file_exists_leaves_directory_empty(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "never-born.txt"
+        monkeypatch.setattr(
+            ioutils.os,
+            "replace",
+            lambda src, dst: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        with pytest.raises(RuntimeError):
+            atomic_write_text(target, "doomed")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_real_replace_is_used(self, tmp_path):
+        # Sanity: the helper goes through os.replace, which POSIX
+        # guarantees is atomic within one filesystem.  The temp file is
+        # created in the destination directory for exactly that reason.
+        target = tmp_path / "out.txt"
+        seen = []
+        original = os.replace
+
+        def spy(src, dst):
+            seen.append((os.path.dirname(str(src)), str(dst)))
+            return original(src, dst)
+
+        try:
+            ioutils.os.replace = spy
+            atomic_write_text(target, "x")
+        finally:
+            ioutils.os.replace = original
+        assert seen == [(str(tmp_path), str(target))]
+
+
+class TestSaveStudyDurability:
+    def test_kill_mid_save_keeps_previous_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "study.json"
+        first = small_study(QUERIES)
+        save_study(first, path)
+        before = path.read_bytes()
+
+        second = small_study(QUERIES[:2])
+
+        def killed(src, dst):
+            raise KeyboardInterrupt("pulled the plug")
+
+        monkeypatch.setattr(ioutils.os, "replace", killed)
+        with pytest.raises(KeyboardInterrupt):
+            save_study(second, path)
+
+        assert path.read_bytes() == before
+        assert load_study(path) == first
+        assert not tmp_leftovers(tmp_path)
+
+    def test_successful_resave_replaces_snapshot(self, tmp_path):
+        path = tmp_path / "study.json"
+        first = small_study(QUERIES)
+        second = small_study(QUERIES[:2])
+        save_study(first, path)
+        save_study(second, path)
+        assert load_study(path) == second
+        assert not tmp_leftovers(tmp_path)
+
+    def test_snapshot_never_observable_as_partial_json(
+        self, tmp_path, monkeypatch
+    ):
+        # Readers polling the path during a save must only ever see
+        # valid JSON: either the old snapshot or the new one.
+        path = tmp_path / "study.json"
+        save_study(small_study(QUERIES[:2]), path)
+
+        observed = []
+        original = os.replace
+
+        def observing_replace(src, dst):
+            observed.append(load_study(path))  # mid-save: old snapshot
+            return original(src, dst)
+
+        monkeypatch.setattr(ioutils.os, "replace", observing_replace)
+        new = small_study(QUERIES)
+        save_study(new, path)
+        assert observed == [small_study(QUERIES[:2])]
+        assert load_study(path) == new

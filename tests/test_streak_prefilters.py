@@ -155,3 +155,29 @@ def test_lean_requires_sequence_only_metrics():
         )
     with pytest.raises(ValueError, match="sequence metric"):
         analyze_corpora({"day": ["ASK { ?s ?p ?o }"]}, lean=True)
+
+
+def test_parallel_ingestion_counters_match_serial_exactly():
+    """Sharded chunks ship counter deltas home; totals must be exact.
+
+    Regression for a silent drop: pool workers mutate their *own*
+    ``SIMILARITY_COUNTERS``, so before the deltas rode back with the
+    chunk results the parent's totals under-counted whenever ingestion
+    actually forked.  workers=1 (in-process chunks) and workers=2
+    (forked chunks) must now agree to the query, not approximately.
+    """
+    from repro.analysis.context import AnalysisOptions
+    from repro.analysis.parallel import build_query_logs_parallel
+
+    log = generate_day_log(200, session_rate=0.5, seed=7)
+    options = AnalysisOptions(metrics=("streaks",))
+    totals = {}
+    for workers in (1, 2):
+        SIMILARITY_COUNTERS.reset()
+        logs = build_query_logs_parallel(
+            {"day": log}, workers=workers, chunk_size=16, options=options
+        )
+        assert logs["day"].sequences is not None
+        totals[workers] = SIMILARITY_COUNTERS.to_dict()
+    assert totals[1] == totals[2]
+    assert totals[1]["comparisons"] > 0

@@ -1,0 +1,335 @@
+"""Tests for the persistent cross-run structure store.
+
+The correctness gate of the store is *transparency*: cache-on ≡
+cache-off ≡ warm ≡ cold, byte-identical reports — including when the
+store file is corrupted or truncated, where the run must degrade to
+cold with a warning, never crash.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.structure_store import (
+    CODE_VERSION,
+    STORE_SCHEMA_VERSION,
+    StoreBackedStructureCache,
+    StructureStore,
+    open_structure_cache,
+)
+from repro.api import analyze_corpora
+from repro.cli import main
+
+#: Templated corpus: few distinct structural signatures, many queries —
+#: exactly the workload the store accelerates.
+TEMPLATED = [
+    template.format(i=i)
+    for i in range(30)
+    for template in (
+        "SELECT ?a WHERE {{ ?a <http://p/{i}> ?b . ?b <http://q/{i}> ?c }}",
+        "ASK {{ ?x <http://r/{i}> ?y }}",
+        "SELECT ?s WHERE {{ ?s <http://one/{i}> ?t . ?t <http://two/{i}> ?s }}",
+    )
+]
+
+#: Queries with predicate variables, so the hypergraph ("h") entries
+#: get exercised too.
+HYPER = [
+    f"SELECT ?a WHERE {{ ?a ?p <http://o/{i}> . ?a <http://q/{i}> ?b }}"
+    for i in range(20)
+]
+
+CORPUS = {"templated": TEMPLATED, "hyper": HYPER}
+
+
+def run_study(store_path=None, **kwargs):
+    return analyze_corpora(
+        CORPUS,
+        structure_cache_path=None if store_path is None else str(store_path),
+        **kwargs,
+    )
+
+
+@pytest.fixture()
+def baseline():
+    return run_study().render("text")
+
+
+def entry_rows(path):
+    with sqlite3.connect(str(path)) as connection:
+        return sorted(
+            connection.execute("SELECT sig, kind, code_version FROM entries")
+        )
+
+
+class TestTransparency:
+    def test_cold_run_matches_store_less_run(self, tmp_path, baseline):
+        cold = run_study(tmp_path / "cache.db")
+        assert cold.render("text") == baseline
+
+    def test_warm_run_is_byte_identical_and_serves_entries(
+        self, tmp_path, baseline
+    ):
+        store = tmp_path / "cache.db"
+        run_study(store)
+        warm = run_study(store, profile=True)
+        assert warm.render("text") == baseline
+        assert warm.profile.store_hits > 0
+
+    def test_warm_run_in_fresh_process_is_byte_identical(self, tmp_path):
+        """Populate the store, then re-analyze from a brand-new process:
+        the only shared state is the store file itself."""
+        log = tmp_path / "endpoint.rq"
+        log.write_text("\n".join(TEMPLATED) + "\n", encoding="utf-8")
+        store = tmp_path / "cache.db"
+        src = Path(__file__).resolve().parent.parent / "src"
+
+        def analyze_subprocess():
+            return subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "analyze",
+                    str(log),
+                    "--structure-cache",
+                    str(store),
+                ],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+                check=True,
+            ).stdout
+
+        cold = analyze_subprocess()
+        assert entry_rows(store)
+        warm = analyze_subprocess()
+        assert warm == cold
+
+    def test_warm_sharded_run_is_byte_identical(self, tmp_path, baseline):
+        store = tmp_path / "cache.db"
+        run_study(store)
+        warm = run_study(store, workers=2, chunk_size=16, profile=True)
+        assert warm.render("text") == baseline
+        assert warm.profile.store_hits > 0
+
+    def test_store_with_zero_lru_capacity_still_serves(self, tmp_path, baseline):
+        store = tmp_path / "cache.db"
+        run_study(store)
+        warm = run_study(store, cache_size=0, profile=True)
+        assert warm.render("text") == baseline
+        assert warm.profile.store_hits > 0
+
+
+class TestConcurrentFlush:
+    def test_multi_worker_flush_loses_and_duplicates_nothing(self, tmp_path):
+        serial_store = tmp_path / "serial.db"
+        sharded_store = tmp_path / "sharded.db"
+        run_study(serial_store)
+        run_study(sharded_store, workers=2, chunk_size=8)
+        serial_rows = entry_rows(serial_store)
+        assert serial_rows  # the corpus produces structural entries
+        assert entry_rows(sharded_store) == serial_rows
+        # The primary key makes duplicates impossible; check anyway that
+        # repeated flushes of recurring shapes collapsed via the upsert.
+        assert len(serial_rows) == len({row[0:2] for row in serial_rows})
+
+    def test_repeated_runs_do_not_grow_the_store(self, tmp_path):
+        store = tmp_path / "cache.db"
+        run_study(store)
+        before = entry_rows(store)
+        run_study(store, workers=2, chunk_size=8)
+        assert entry_rows(store) == before
+
+
+class TestCodeVersionInvalidation:
+    def test_entries_from_another_code_version_are_not_served(self, tmp_path):
+        store_path = tmp_path / "cache.db"
+        run_study(store_path)
+        assert all(row[2] == CODE_VERSION for row in entry_rows(store_path))
+        # Rewrite every entry as if an older classifier produced it.
+        with sqlite3.connect(str(store_path)) as connection:
+            connection.execute("UPDATE entries SET code_version = 'older-code'")
+            connection.commit()
+        warm = run_study(store_path, profile=True)
+        assert warm.profile.store_hits == 0
+        # The re-run re-persisted its results under the current version;
+        # the stale rows coexist (and would be reported by `cache stats`).
+        versions = {row[2] for row in entry_rows(store_path)}
+        assert versions == {"older-code", CODE_VERSION}
+
+    def test_store_open_with_explicit_version_filters(self, tmp_path):
+        store_path = tmp_path / "cache.db"
+        run_study(store_path)
+        store = StructureStore.open(store_path, version="something-else")
+        try:
+            assert store.stats()["current"] == 0
+            assert store.stats()["stale"] == store.stats()["entries"] > 0
+        finally:
+            store.close()
+
+
+class TestCorruption:
+    def assert_degrades(self, tmp_path, baseline):
+        store = tmp_path / "cache.db"
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run_study(store)
+        assert result.render("text") == baseline
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+
+    def test_garbage_file_degrades_to_cold(self, tmp_path, baseline):
+        (tmp_path / "cache.db").write_bytes(b"this is not a database" * 64)
+        self.assert_degrades(tmp_path, baseline)
+
+    def test_truncated_store_degrades_to_cold(self, tmp_path, baseline):
+        store = tmp_path / "cache.db"
+        run_study(store)
+        data = store.read_bytes()
+        store.write_bytes(data[: len(data) // 3])
+        self.assert_degrades(tmp_path, baseline)
+
+    def test_foreign_schema_version_degrades_to_cold(self, tmp_path, baseline):
+        store = tmp_path / "cache.db"
+        with sqlite3.connect(str(store)) as connection:
+            connection.execute("CREATE TABLE entries (x)")
+            connection.execute(f"PRAGMA user_version = {STORE_SCHEMA_VERSION + 7}")
+            connection.commit()
+        self.assert_degrades(tmp_path, baseline)
+
+    def test_undecodable_payload_degrades_to_recompute(self, tmp_path, baseline):
+        store = tmp_path / "cache.db"
+        run_study(store)
+        with sqlite3.connect(str(store)) as connection:
+            connection.execute("UPDATE entries SET payload = '[not json'")
+            connection.commit()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            warm = run_study(store, profile=True)
+        assert warm.render("text") == baseline
+        assert warm.profile.store_hits == 0
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(garbage=st.binary(min_size=0, max_size=512))
+    def test_arbitrary_bytes_never_crash_the_open(self, tmp_path, garbage):
+        store = tmp_path / f"fuzz-{len(garbage)}.db"
+        store.write_bytes(garbage)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            handle = StructureStore.open(store)
+        if handle is not None:  # empty bytes are a valid fresh database
+            handle.put_many([("g", "sig", "{}")])
+            handle.close()
+
+
+class TestStoreBackedCache:
+    def test_plain_behavior_without_a_store(self):
+        cache = StoreBackedStructureCache(4, None)
+        assert cache.enabled
+        assert cache.get(("g", (1,))) is None
+        cache.put(("g", (1,)), "entry")
+        assert cache.get(("g", (1,))) == "entry"
+        assert cache.take_pending() == []
+
+    def test_store_hit_is_promoted_but_not_requeued(self, tmp_path):
+        store = StructureStore.open(tmp_path / "cache.db")
+        writer = StoreBackedStructureCache(4, store)
+        key = ("h", ((0, 1),))
+        from repro.analysis.context import HypertreeEntry
+
+        writer.put(key, HypertreeEntry(width=2, node_count=3))
+        writer.flush()
+        reader = StoreBackedStructureCache(4, store)
+        assert reader.get(key) == HypertreeEntry(width=2, node_count=3)
+        assert reader.store_hits == 1
+        # Promotion must not re-ship a store-served entry.
+        assert reader.take_pending() == []
+        # Second lookup is an LRU hit, not another store read.
+        served_before = store.served
+        assert reader.get(key) is not None
+        assert store.served == served_before
+        store.close()
+
+    def test_open_structure_cache_without_path_is_plain_lru(self):
+        from repro.analysis.context import AnalysisOptions, StructureCache
+
+        cache = open_structure_cache(AnalysisOptions())
+        assert type(cache) is StructureCache
+
+
+class TestCacheVerb:
+    def test_stats_reports_counts(self, tmp_path, capsys):
+        store = tmp_path / "cache.db"
+        run_study(store)
+        assert main(["cache", "stats", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert "entries:" in output
+        assert CODE_VERSION in output
+
+    def test_clear_empties_the_store(self, tmp_path, capsys):
+        store = tmp_path / "cache.db"
+        run_study(store)
+        assert entry_rows(store)
+        assert main(["cache", "clear", str(store)]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert entry_rows(store) == []
+
+    def test_stats_on_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["cache", "stats", str(tmp_path / "absent.db")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_stats_on_corrupt_file_exits_2(self, tmp_path, capsys):
+        store = tmp_path / "cache.db"
+        store.write_bytes(b"junk" * 100)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert main(["cache", "stats", str(store)]) == 2
+        assert "not a usable" in capsys.readouterr().err
+
+    def test_clear_on_corrupt_file_removes_it(self, tmp_path, capsys):
+        store = tmp_path / "cache.db"
+        store.write_bytes(b"junk" * 100)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert main(["cache", "clear", str(store)]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert not store.exists()
+
+    def test_analyze_cache_size_flag(self, tmp_path, capsys):
+        log = tmp_path / "q.rq"
+        log.write_text("ASK { ?s <urn:p> ?o }\n", encoding="utf-8")
+        assert main(["analyze", str(log)]) == 0
+        default = capsys.readouterr().out
+        assert main(["analyze", str(log), "--cache-size", "0"]) == 0
+        assert capsys.readouterr().out == default
+
+    def test_analyze_cache_size_rejects_negative(self, tmp_path, capsys):
+        log = tmp_path / "q.rq"
+        log.write_text("ASK { ?s <urn:p> ?o }\n", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["analyze", str(log), "--cache-size", "-1"])
+        assert "must be >= 0" in capsys.readouterr().err
+
+
+class TestSidecar:
+    def test_sidecar_records_entry_count(self, tmp_path):
+        store = tmp_path / "cache.db"
+        run_study(store)
+        sidecar = json.loads((tmp_path / "cache.db.meta.json").read_text())
+        assert sidecar["store_schema"] == STORE_SCHEMA_VERSION
+        assert sidecar["code_version"] == CODE_VERSION
+        assert sidecar["entries"] == len(entry_rows(store))
