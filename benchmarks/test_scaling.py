@@ -1,0 +1,149 @@
+"""Scaling benchmark: does parallelism actually pay, and at what scale?
+
+Runs the real product path — ``AnalysisRequest``/``AnalysisSession``
+with the ``streaks`` sequence metric (lean ingestion, the §8 workload
+that motivated the parallel runtime) — over a small and a large
+synthetic day log at workers ∈ {1, 2, 4}, each worker count on one
+persistent session pool, timed best-of-``REPRO_BENCH_ROUNDS``.
+
+Records wall time, speedup vs serial, shipped chunks/bytes and parent
+merge time per run into ``BENCH_scaling.json`` (uploaded as a CI
+artifact; the CI gate requires workers=4 ≥ 1.5× serial on the large
+corpus when the runner actually has ≥ 4 CPUs), plus a before/after
+measurement of the compact shard transport: pickled bytes of one
+ingestion chunk's result as the full ``LogShard`` object graph (ASTs,
+dedup map — what a naive driver ships for a streaks run) vs the
+slimmed pre-reduced payload the runtime actually returns (total
+counter + streak accumulator + counter deltas).
+
+Every sharded report is asserted byte-identical to the serial one —
+the speedup is only interesting if the answer is exactly the same.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from _bench_utils import banner
+
+from repro.analysis.context import AnalysisOptions
+from repro.analysis.parallel import _pool_parse_chunk
+from repro.api import AnalysisRequest, AnalysisSession
+from repro.workload import DATASET_PROFILES, generate_day_log
+
+SMALL_SIZE = int(os.environ.get("REPRO_BENCH_SCALING_SMALL", "600"))
+LARGE_SIZE = int(os.environ.get("REPRO_BENCH_SCALING_LARGE", "4800"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _corpus(size: int, seed: int) -> list:
+    return generate_day_log(
+        size, session_rate=0.30, seed=seed,
+        profile=DATASET_PROFILES["DBpedia15"],
+    )
+
+
+def _timed_runs(session: AnalysisSession, request: AnalysisRequest):
+    """Warm up once (pool start-up), then best-of-ROUNDS on one session."""
+    result = session.run(request)
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        result = session.run(request)
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def _transport_before_after() -> dict:
+    """Pickled bytes of one streaks-run ingestion chunk, before vs after.
+
+    Before: full ingestion (parse + dedup + AST retention) — the shard
+    a naive driver ships home.  After: the slimmed lean payload the
+    runtime returns for sequence-only runs (total counter + streak
+    accumulator + counter deltas, no ASTs).  Both measured through the
+    actual pool worker function, so the numbers are the real transport.
+    """
+    texts = _corpus(400, seed=7)
+    full = AnalysisOptions(metrics=("streaks",), lean_ingestion=False)
+    lean = AnalysisOptions(metrics=("streaks",), lean_ingestion=True)
+    full_bytes = len(_pool_parse_chunk(("day", texts, None, full, None)))
+    lean_bytes = len(_pool_parse_chunk(("day", texts, None, lean, None)))
+    return {
+        "chunk_queries": len(texts),
+        "full_shard_bytes": full_bytes,
+        "lean_shard_bytes": lean_bytes,
+        "lean_vs_full_ratio": round(lean_bytes / full_bytes, 4),
+    }
+
+
+def test_scaling_workers_times_corpus():
+    cpus = os.cpu_count() or 1
+    corpora = {
+        "small": _corpus(SMALL_SIZE, seed=21),
+        "large": _corpus(LARGE_SIZE, seed=22),
+    }
+
+    runs = []
+    identical = True
+    for corpus_name, log in corpora.items():
+        serial_seconds = None
+        serial_report = None
+        for workers in WORKER_COUNTS:
+            request = AnalysisRequest(
+                corpora={"day": log},
+                metrics=("streaks",),
+                workers=workers,
+                profile=True,
+            )
+            with AnalysisSession() as session:
+                result, seconds = _timed_runs(session, request)
+            report = result.render("text")
+            if workers == 1:
+                serial_seconds, serial_report = seconds, report
+            assert report == serial_report  # byte-identical to serial
+            identical = identical and report == serial_report
+            profile = result.profile
+            runs.append({
+                "corpus": corpus_name,
+                "queries": len(log),
+                "workers": workers,
+                "seconds": round(seconds, 6),
+                "speedup": round(serial_seconds / seconds if seconds else 0.0, 3),
+                "chunks_shipped": profile.chunks_shipped,
+                "shipped_bytes": profile.shipped_bytes,
+                "merge_seconds": round(profile.merge_seconds, 6),
+            })
+
+    transport = _transport_before_after()
+    payload = {
+        "scaling": {
+            "cpus": cpus,
+            "rounds": ROUNDS,
+            "sizes": {"small": SMALL_SIZE, "large": LARGE_SIZE},
+            "identical_reports": identical,
+            "runs": runs,
+            "transport": transport,
+        }
+    }
+    out_path = Path(os.environ.get("REPRO_BENCH_SCALING_JSON", "BENCH_scaling.json"))
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    banner(f"Scaling: workers x corpus on {cpus} CPUs (best of {ROUNDS})")
+    for run in runs:
+        print(
+            f"  {run['corpus']:<6} workers={run['workers']}: "
+            f"{run['seconds']:.3f}s ({run['speedup']:.2f}x), "
+            f"{run['chunks_shipped']} chunks / {run['shipped_bytes']:,} B shipped, "
+            f"merge {run['merge_seconds']:.4f}s"
+        )
+    print(
+        f"  transport: {transport['full_shard_bytes']:,} B full shard -> "
+        f"{transport['lean_shard_bytes']:,} B lean shard "
+        f"({transport['lean_vs_full_ratio']:.3f}x) "
+        f"for a {transport['chunk_queries']}-query chunk"
+    )
+    print(f"  wrote {out_path}")

@@ -23,7 +23,12 @@ from pathlib import Path
 from _bench_utils import banner
 
 from repro.analysis import find_streaks, streak_length_histogram
-from repro.analysis.parallel import imap_bounded, iter_chunks
+from repro.analysis.context import AnalysisOptions
+from repro.analysis.parallel import (
+    TransportStats,
+    WorkerPool,
+    build_query_log_parallel,
+)
 from repro.analysis.streaks import SIMILARITY_COUNTERS, StreakAccumulator
 from repro.reporting import render_table6
 from repro.workload import DATASET_PROFILES, generate_day_log
@@ -89,37 +94,55 @@ def _detect_chunk(texts):
 
 
 def test_table6_sharded_vs_serial_walltime():
-    """Serial scan vs chunked multiprocessing scan of one day log.
+    """Serial scan vs the sharded runtime's scan of one day log.
 
-    Asserts exactness (the sharded result is the serial one) and merges
-    both wall times into BENCH_passes.json for the CI artifact.  On a
-    single-core runner the sharded path may well be slower — the point
-    is the recorded trajectory, not a local speedup assertion.
+    The sharded side is the real product path — lean ingestion through
+    :func:`build_query_log_parallel` on a persistent
+    :class:`WorkerPool` with the adaptive chunk schedule — so the
+    recorded trajectory tracks what users actually run.  Both sides are
+    timed best-of-``REPRO_BENCH_ROUNDS`` after a warm-up scan.  Asserts
+    exactness (the sharded accumulator is the serial one) and merges
+    the wall times plus the transport accounting into
+    BENCH_passes.json for the CI artifact.  On a single-core runner the
+    adaptive schedule collapses to a single in-process chunk, so the
+    recorded speedup sits at parity rather than below it.
     """
     workers = min(4, os.cpu_count() or 1)
+    rounds = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
     log = generate_day_log(
         DAY_LOG_SIZE * 2, session_rate=0.30, seed=6,
         profile=DATASET_PROFILES["DBpedia15"],
     )
 
     SIMILARITY_COUNTERS.reset()
-    started = time.perf_counter()
-    serial = _detect_chunk(log)
-    serial_seconds = time.perf_counter() - started
+    serial = _detect_chunk(log)  # warm-up; also the counter snapshot scan
     # Kernel instrumentation for the serial scan: how much work each
     # prefilter stage absorbed before the DP ran (per-process counters,
-    # so snapshot them before the sharded run forks workers).
+    # so snapshot them before the sharded runs add their own).
     serial_counters = SIMILARITY_COUNTERS.to_dict()
     dp_skip_rate = SIMILARITY_COUNTERS.dp_skip_rate
+    serial_seconds = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        _detect_chunk(log)
+        serial_seconds = min(serial_seconds, time.perf_counter() - started)
 
-    chunk_size = max(1, len(log) // (workers * 4))
-    started = time.perf_counter()
-    sharded = StreakAccumulator(window=30)
-    for partial in imap_bounded(
-        _detect_chunk, iter_chunks(log, chunk_size), workers
-    ):
-        sharded.merge(partial)
-    sharded_seconds = time.perf_counter() - started
+    options = AnalysisOptions(metrics=("streaks",), lean_ingestion=True)
+    with WorkerPool(workers) as pool:
+
+        def run_sharded():
+            stats = TransportStats()
+            qlog = build_query_log_parallel(
+                "day", log, options=options, pool=pool, transport=stats,
+            )
+            return qlog.sequences["streaks"], stats
+
+        sharded, transport = run_sharded()  # warm-up (pool start-up)
+        sharded_seconds = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            sharded, transport = run_sharded()
+            sharded_seconds = min(sharded_seconds, time.perf_counter() - started)
 
     assert sharded == serial  # byte-identical, not just same histogram
     assert sharded.length_histogram() == streak_length_histogram(
@@ -134,12 +157,15 @@ def test_table6_sharded_vs_serial_walltime():
         "queries": len(log),
         "window": 30,
         "workers": workers,
-        "chunk_size": chunk_size,
+        "chunk_size": "adaptive",
         "serial_seconds": round(serial_seconds, 6),
         "sharded_seconds": round(sharded_seconds, 6),
         "serial_vs_sharded_speedup": round(
             serial_seconds / sharded_seconds if sharded_seconds > 0 else 0.0, 3
         ),
+        "chunks_shipped": transport.chunks_shipped,
+        "shipped_bytes": transport.shipped_bytes,
+        "merge_seconds": round(transport.merge_seconds, 6),
         "streak_count": serial.streak_count,
         "longest": serial.longest,
         "similarity_counters": serial_counters,
@@ -150,7 +176,13 @@ def test_table6_sharded_vs_serial_walltime():
     banner("Table 6: serial vs sharded streak scan")
     print(
         f"  {len(log)} queries, window 30: serial {serial_seconds:.3f}s, "
-        f"sharded ({workers} workers) {sharded_seconds:.3f}s"
+        f"sharded ({workers} workers) {sharded_seconds:.3f}s "
+        f"(best of {rounds})"
+    )
+    print(
+        f"  transport: {transport.chunks_shipped} chunks, "
+        f"{transport.shipped_bytes} bytes shipped, "
+        f"merge {transport.merge_seconds:.4f}s"
     )
     print(
         f"  kernel: {serial_counters['comparisons']} comparisons, "

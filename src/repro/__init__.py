@@ -94,7 +94,7 @@ from .workload import (
     generate_workload,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AnalysisRequest",

@@ -25,7 +25,30 @@ peak ingestion memory is O(workers × chunk_size), not O(log size).
 (The deduplicated unique set is accumulated by design — it *is* the
 result — so total memory is chunk window + unique state.)
 
-Chunks are always merged in stream order, so both functions are
+The parallel runtime itself is built from four reusable pieces:
+
+* :class:`WorkerPool` — a persistent process pool created once (per
+  :class:`~repro.api.AnalysisSession`) and reused across datasets,
+  corpora and runs, so repeated runs don't pay a fork storm.  Workers
+  keep *keyed* caches (parse caches per prefix environment, structure
+  caches per option set) that stay warm across runs on the same pool.
+* adaptive chunk sizing (:func:`adaptive_chunk_sizes`) — chunks start
+  small and grow geometrically toward ~``_TARGET_CHUNKS_PER_WORKER``
+  chunks per worker, so tiny corpora stay near serial cost and huge
+  corpora amortize IPC.  ``workers=1`` collapses to one chunk (the
+  serial scan); explicit ``chunk_size`` still pins a fixed size.
+* compact shard transport — pool workers serialize their results
+  themselves and return ``bytes``: pre-reduced payloads (counter
+  deltas, streak boundary state, fully reduced partial studies — never
+  the chunk's AST object graphs), with the parent counting exactly how
+  many bytes each chunk shipped (:class:`TransportStats`, surfaced as
+  ``PassProfile`` counters).
+* pairwise tree merge (:func:`tree_merge`) — partial results reduce
+  through an online binary-counter tree instead of one long left fold.
+  Every accumulator merge here is associative, so the merge tree's
+  shape can never change a byte (property-tested).
+
+Chunks are always merged in stream order, so both drivers are
 guaranteed to reproduce the serial result exactly — including counter
 key order, which breaks ties in table rendering.  ``workers=1`` (or a
 single chunk) never touches :mod:`multiprocessing`: it runs the same
@@ -36,12 +59,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import threading
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from functools import partial
-from itertools import chain, islice
+from itertools import chain, islice, repeat
+from time import perf_counter
 from typing import (
     Callable,
     Dict,
@@ -52,6 +77,7 @@ from typing import (
     Optional,
     Tuple,
     TypeVar,
+    Union,
 )
 
 from ..logs.pipeline import LogShard, ParseCache, ParsedQuery, QueryLog, process_entries
@@ -73,16 +99,21 @@ from .study import CorpusStudy, DatasetStats, _claim_streaks
 
 __all__ = [
     "DEFAULT_STREAM_CHUNK_SIZE",
+    "TransportStats",
+    "WorkerPool",
+    "adaptive_chunk_sizes",
     "build_query_log_parallel",
     "build_query_logs_parallel",
     "default_chunk_size",
     "imap_bounded",
     "iter_chunks",
+    "iter_scheduled_chunks",
     "measure_chunk",
     "merge_shards",
     "merge_studies",
     "resolve_workers",
     "study_corpus_parallel",
+    "tree_merge",
 ]
 
 _Payload = TypeVar("_Payload")
@@ -96,21 +127,92 @@ _Result = TypeVar("_Result")
 #: depend on timing.
 _CHUNKS_PER_WORKER = 4
 
+#: Steady-state chunk-count target of the adaptive schedule: chunk
+#: sizes grow until the whole input splits into about this many chunks
+#: per worker.  Enough chunks to smooth load imbalance, few enough
+#: that per-chunk IPC stays amortized.
+_TARGET_CHUNKS_PER_WORKER = 8
+
+#: First chunk size of the adaptive schedule: small, so short inputs
+#: produce their first result (and their only chunks) near serial cost.
+_ADAPTIVE_INITIAL_CHUNK = 64
+
 #: Chunk size used when the input is a one-shot iterator whose length
-#: is unknowable up front (the streaming ingestion path).
+#: is unknowable up front (the streaming ingestion path).  Also the
+#: growth cap of the adaptive schedule on such streams — memory stays
+#: bounded without counting the stream first.
 DEFAULT_STREAM_CHUNK_SIZE = 1024
 
 
-def resolve_workers(workers: Optional[int]) -> int:
-    """Normalize a worker count (``None``/``0`` → all CPUs)."""
+def resolve_workers(workers: Union[int, str, None]) -> int:
+    """Normalize a worker count (``None``/``0``/``"auto"`` → all CPUs).
+
+    ``"auto"`` is the spelling the CLI accepts; it resolves to the CPUs
+    usable by this process (``os.process_cpu_count`` where available,
+    ``os.cpu_count`` otherwise).  Any other string raises.
+    """
+    if isinstance(workers, str):
+        if workers != "auto":
+            raise ValueError(
+                f"workers must be a positive integer or 'auto', got {workers!r}"
+            )
+        workers = None
     if workers is None or workers <= 0:
-        return os.cpu_count() or 1
+        return getattr(os, "process_cpu_count", os.cpu_count)() or 1
     return workers
 
 
 def default_chunk_size(n_items: int, workers: int) -> int:
     """Deterministic chunk size: ~`_CHUNKS_PER_WORKER` chunks per worker."""
     return max(1, -(-n_items // (workers * _CHUNKS_PER_WORKER)))
+
+
+def adaptive_chunk_sizes(
+    total: Optional[int], workers: int
+) -> Iterator[int]:
+    """The adaptive chunk-size schedule: small first, growing toward few.
+
+    Yields chunk sizes forever (the chunker stops pulling when the
+    input runs dry).  Sizes start at ``_ADAPTIVE_INITIAL_CHUNK`` and
+    double until the whole input would split into about
+    ``_TARGET_CHUNKS_PER_WORKER`` chunks per worker — so a tiny corpus
+    is one or two cheap chunks while a huge one settles into large,
+    IPC-amortizing chunks after a logarithmic ramp.  *total* ``None``
+    (an unsized stream) caps growth at ``DEFAULT_STREAM_CHUNK_SIZE``
+    instead, keeping the memory bound that streaming mode promises.
+
+    ``workers == 1`` yields the whole (sized) input as one chunk: the
+    driver's collapse path then runs it serially with zero chunking or
+    merge overhead.  The schedule depends only on ``(total, workers)``,
+    never on timing, so chunk boundaries — and therefore merge trees —
+    are deterministic.
+    """
+    if workers == 1 and total is not None:
+        size = max(1, total)
+        while True:
+            yield size
+    if total is None:
+        cap = DEFAULT_STREAM_CHUNK_SIZE
+    else:
+        cap = max(
+            _ADAPTIVE_INITIAL_CHUNK,
+            -(-total // (workers * _TARGET_CHUNKS_PER_WORKER)),
+        )
+    size = min(_ADAPTIVE_INITIAL_CHUNK, cap)
+    while True:
+        yield size
+        size = min(size * 2, cap)
+
+
+def _chunk_schedule(
+    chunk_size: Optional[int], total: Optional[int], workers: int
+) -> Iterator[int]:
+    """Fixed sizes for an explicit *chunk_size*, adaptive otherwise."""
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        return repeat(chunk_size)
+    return adaptive_chunk_sizes(total, workers)
 
 
 def iter_chunks(items: Iterable[_Payload], chunk_size: int) -> Iterator[List[_Payload]]:
@@ -122,16 +224,109 @@ def iter_chunks(items: Iterable[_Payload], chunk_size: int) -> Iterator[List[_Pa
     """
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-    return _iter_chunks(items, chunk_size)
+    return iter_scheduled_chunks(items, repeat(chunk_size))
 
 
-def _iter_chunks(items: Iterable[_Payload], chunk_size: int) -> Iterator[List[_Payload]]:
+def iter_scheduled_chunks(
+    items: Iterable[_Payload], sizes: Iterator[int]
+) -> Iterator[List[_Payload]]:
+    """Like :func:`iter_chunks`, but each chunk's size comes from *sizes*.
+
+    *sizes* may be shared between several chunkers (the drivers share
+    one schedule across all datasets of a corpus, so the geometric ramp
+    happens once per run, not once per dataset).
+    """
     iterator = iter(items)
-    while True:
-        chunk = list(islice(iterator, chunk_size))
+    for size in sizes:
+        chunk = list(islice(iterator, size))
         if not chunk:
             return
         yield chunk
+
+
+# ---------------------------------------------------------------------------
+# Transport accounting and the persistent worker pool
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TransportStats:
+    """What a sharded run shipped and how long merging took.
+
+    Filled by the drivers when the caller passes one in (the
+    :class:`~repro.api.AnalysisSession` does, folding the totals into
+    the run's :class:`~repro.analysis.passes.PassProfile`).  A chunk
+    counts as *shipped* when its result crossed the pool boundary as a
+    serialized payload; in-process paths (``workers=1``, single-chunk
+    collapse without a pool) ship nothing.
+    """
+
+    #: Chunk results that came back as serialized payloads.
+    chunks_shipped: int = 0
+    #: Total pickled bytes of those payloads.
+    shipped_bytes: int = 0
+    #: Parent-side wall time spent merging partial results.
+    merge_seconds: float = 0.0
+
+    def add_to_profile(self, profile: PassProfile) -> None:
+        """Fold these counters into a run's pass profile."""
+        profile.chunks_shipped += self.chunks_shipped
+        profile.shipped_bytes += self.shipped_bytes
+        profile.merge_seconds += self.merge_seconds
+
+
+class WorkerPool:
+    """A persistent worker pool, reused across datasets, corpora and runs.
+
+    The per-call drivers spin a pool up and tear it down per invocation
+    — correct, but a session analyzing many corpora pays the process
+    start-up cost every time.  A ``WorkerPool`` owns one
+    :class:`~concurrent.futures.ProcessPoolExecutor` (fork context
+    where available), created lazily on first submit and kept until
+    :meth:`close`.
+
+    Workers of a persistent pool keep *keyed* state instead of
+    initializer-built globals, because one pool serves runs with
+    different configurations: parse caches are keyed by prefix
+    environment (a :class:`~repro.logs.pipeline.ParseCache` is pinned
+    to one), structure caches by the option fields they depend on.
+    State stays warm across runs — which can only change *when* a
+    result is computed, never what it is (cache-transparency
+    invariant).
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, workers: Union[int, str, None] = None) -> None:
+        self.workers = resolve_workers(workers)
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The underlying executor, created on first use."""
+        if self._executor is None:
+            context = _fork_context()
+            kwargs = {} if context is None else {"mp_context": context}
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, **kwargs
+            )
+        return self._executor
+
+    @property
+    def started(self) -> bool:
+        """Whether worker processes exist yet (the pool is lazy)."""
+        return self._executor is not None
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 # ---------------------------------------------------------------------------
@@ -144,13 +339,46 @@ def _iter_chunks(items: Iterable[_Payload], chunk_size: int) -> Iterator[List[_P
 #: parsed once.  In the parent it is only ever set by the collapsed
 #: (<= 1 payload) serial fallback, which re-runs the initializer first —
 #: each run gets a fresh cache, so prefix environments can't leak
-#: between runs.
+#: between runs.  (Per-call pools only; persistent-pool workers use the
+#: keyed caches below.)
 _WORKER_PARSE_CACHE: Optional[ParseCache] = None
 
 
 def _init_parse_worker() -> None:
     global _WORKER_PARSE_CACHE
     _WORKER_PARSE_CACHE = ParseCache()
+
+
+#: Keyed per-worker caches for persistent pools.  A ParseCache is
+#: pinned to one prefix environment (it raises on a mismatch), so a
+#: pool worker serving many runs keeps one cache per environment.
+_POOL_PARSE_CACHES: Dict[object, ParseCache] = {}
+
+#: Keyed per-worker structure caches for persistent pools, one per
+#: (cache_size, structure_cache_path) — the option fields the cache is
+#: built from.  Warm entries surviving across runs is exactly the
+#: cache-transparency invariant: results never change, only timings.
+_POOL_STRUCTURE_CACHES: Dict[Tuple[int, Optional[str]], StructureCache] = {}
+
+
+def _pool_parse_cache(extra_prefixes: Optional[Dict[str, str]]) -> ParseCache:
+    key = (
+        None if not extra_prefixes else tuple(sorted(extra_prefixes.items()))
+    )
+    cache = _POOL_PARSE_CACHES.get(key)
+    if cache is None:
+        cache = _POOL_PARSE_CACHES[key] = ParseCache()
+    return cache
+
+
+def _pool_structure_cache(options: AnalysisOptions) -> StructureCache:
+    key = (options.cache_size, options.structure_cache_path)
+    cache = _POOL_STRUCTURE_CACHES.get(key)
+    if cache is None:
+        cache = _POOL_STRUCTURE_CACHES[key] = open_structure_cache(
+            options, readonly=True
+        )
+    return cache
 
 
 def _attach_sequences(
@@ -248,6 +476,27 @@ def _parse_chunk(
     )
 
 
+def _pool_parse_chunk(
+    payload: Tuple[
+        str,
+        List[str],
+        Optional[Dict[str, str]],
+        Optional[AnalysisOptions],
+        Optional[List[str]],
+    ],
+) -> bytes:
+    """Persistent-pool ingestion worker: keyed cache, pre-pickled result.
+
+    Returning ``bytes`` makes the transport explicit: the parent counts
+    exactly ``len(result)`` shipped bytes per chunk, and the executor's
+    own result pickling degenerates to a cheap bytes copy.
+    """
+    name, texts, extra_prefixes, options, lookahead = payload
+    cache = _pool_parse_cache(extra_prefixes)
+    result = _ingest_scored(name, texts, extra_prefixes, options, lookahead, cache)
+    return pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
+
+
 #: Per-worker structural-signature cache, created by the pool
 #: initializer so it lives for the whole pool: recurring query shapes
 #: across a worker's chunks reuse their shape/treewidth/hypertree
@@ -275,6 +524,25 @@ def _measure_chunk(
     return study, pending_rows(_WORKER_STRUCTURE_CACHE)
 
 
+def _pool_measure_chunk(
+    payload: Tuple[str, List[ParsedQuery], bool, AnalysisOptions],
+) -> bytes:
+    """Persistent-pool measure worker: compact, pre-reduced transport.
+
+    What comes back is the fully reduced partial study — plain counters
+    and histograms, a couple of KB regardless of chunk size — never the
+    chunk's AST object graphs, which stay on the worker.  Pre-pickling
+    it here makes the shipped size explicit: the parent counts exactly
+    ``len(result)`` bytes per chunk.
+    """
+    dataset, queries, dedup, options = payload
+    cache = _pool_structure_cache(options)
+    study = measure_chunk(
+        dataset, queries, dedup=dedup, options=options, cache=cache
+    )
+    return pickle.dumps((study, pending_rows(cache)), pickle.HIGHEST_PROTOCOL)
+
+
 #: Logs shared with fork-started measure workers through inherited
 #: memory: the measure phase always runs over *materialized*
 #: :class:`QueryLog` objects, so index slices — not chunks of recursive
@@ -283,7 +551,9 @@ def _measure_chunk(
 #: :func:`study_corpus_parallel` run, because pool workers fork lazily
 #: on first submit; cleared right after.  The lock serializes
 #: concurrent runs in one process so a second thread can't swap the
-#: global between another run's fork and its submits.
+#: global between another run's fork and its submits.  (Per-call pools
+#: only: a persistent pool forked long before this run's logs existed,
+#: so its workers receive query chunks instead.)
 _SHARED_LOGS: Optional[Mapping[str, QueryLog]] = None
 _SHARED_LOGS_LOCK = threading.Lock()
 
@@ -360,6 +630,7 @@ def imap_bounded(
     *,
     initializer: Optional[Callable[[], None]] = None,
     max_inflight: Optional[int] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> Iterator[_Result]:
     """Apply *worker_fn* to *payloads*, yielding results in input order.
 
@@ -374,6 +645,11 @@ def imap_bounded(
     payload — is the deterministic serial fallback: same code path,
     same order, fully lazy, no :mod:`multiprocessing` and no pickling.
 
+    *pool* submits to a persistent :class:`WorkerPool` instead of
+    spinning up (and tearing down) a per-call executor; *worker_fn*
+    must then manage its own worker-side state (*initializer* is for
+    per-call pools, whose single configuration it pins).
+
     *workers* is validated eagerly, at the call site rather than from
     inside the pool mid-stream (callers resolve 0/None via
     :func:`resolve_workers` first).
@@ -381,7 +657,12 @@ def imap_bounded(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     return _imap_bounded(
-        worker_fn, payloads, workers, initializer=initializer, max_inflight=max_inflight
+        worker_fn,
+        payloads,
+        workers,
+        initializer=initializer,
+        max_inflight=max_inflight,
+        pool=pool,
     )
 
 
@@ -392,6 +673,7 @@ def _imap_bounded(
     *,
     initializer: Optional[Callable[[], None]],
     max_inflight: Optional[int],
+    pool: Optional[WorkerPool],
 ) -> Iterator[_Result]:
     iterator = iter(payloads)
     collapsed = False
@@ -406,7 +688,8 @@ def _imap_bounded(
             # A multi-worker run that turned out to hold <= 1 payload
             # executes the worker fn in-process; run its initializer
             # here so worker-global state (per-worker caches) exists
-            # exactly as it would inside a pool.
+            # exactly as it would inside a pool.  (Pool worker fns need
+            # no initializer — their keyed state builds itself.)
             initializer()
         for payload in iterator:
             yield worker_fn(payload)
@@ -414,11 +697,8 @@ def _imap_bounded(
     if max_inflight is None:
         max_inflight = workers * _CHUNKS_PER_WORKER
     max_inflight = max(max_inflight, workers)
-    context = _fork_context()
-    kwargs = {} if context is None else {"mp_context": context}
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=initializer, **kwargs
-    ) as executor:
+    if pool is not None:
+        executor = pool.executor()
         pending: deque = deque()
         for payload in iterator:
             pending.append(executor.submit(worker_fn, payload))
@@ -426,6 +706,19 @@ def _imap_bounded(
                 yield pending.popleft().result()
         while pending:
             yield pending.popleft().result()
+        return
+    context = _fork_context()
+    kwargs = {} if context is None else {"mp_context": context}
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=initializer, **kwargs
+    ) as executor:
+        per_call_pending: deque = deque()
+        for payload in iterator:
+            per_call_pending.append(executor.submit(worker_fn, payload))
+            if len(per_call_pending) >= max_inflight:
+                yield per_call_pending.popleft().result()
+        while per_call_pending:
+            yield per_call_pending.popleft().result()
 
 
 # ---------------------------------------------------------------------------
@@ -433,19 +726,79 @@ def _imap_bounded(
 # ---------------------------------------------------------------------------
 
 
+class _TreeMerger:
+    """Online pairwise reduction that preserves stream adjacency.
+
+    A binary-counter tree: each pushed item sits at level 0; whenever
+    two adjacent subtrees of equal level exist, the *earlier* one
+    absorbs the later (``merge_fn(earlier, later)``), keeping strict
+    stream order inside every partial.  At most O(log n) partials are
+    alive at once, and every item participates in at most O(log n)
+    merges — no accumulator is re-scanned n times the way a left fold's
+    left operand is.  Because every merge here is associative (the
+    accumulators' contract, property-tested), the tree's shape cannot
+    change a byte of the result.
+    """
+
+    __slots__ = ("_merge_fn", "_stack")
+
+    def __init__(self, merge_fn: Callable[[_Result, _Result], _Result]) -> None:
+        self._merge_fn = merge_fn
+        #: (level, value) pairs in stream order, levels strictly
+        #: decreasing — exactly the set bits of the pushed-item count.
+        self._stack: List[Tuple[int, _Result]] = []
+
+    def push(self, item: _Result) -> None:
+        level = 0
+        while self._stack and self._stack[-1][0] == level:
+            _, earlier = self._stack.pop()
+            item = self._merge_fn(earlier, item)
+            level += 1
+        self._stack.append((level, item))
+
+    def result(self) -> Optional[_Result]:
+        """Fold the remaining partials (oldest first); ``None`` if empty."""
+        if not self._stack:
+            return None
+        merged: Optional[_Result] = None
+        for _, value in self._stack:
+            merged = value if merged is None else self._merge_fn(merged, value)
+        self._stack = []
+        return merged
+
+
+def tree_merge(
+    items: Iterable[_Result], merge_fn: Callable[[_Result, _Result], _Result]
+) -> Optional[_Result]:
+    """Reduce *items* pairwise (binary-counter tree), adjacency preserved.
+
+    Equivalent to a left fold for any associative *merge_fn* — which
+    every accumulator merge in this package is — while touching each
+    partial only O(log n) times.  Returns ``None`` for an empty input.
+    """
+    merger: _TreeMerger = _TreeMerger(merge_fn)
+    for item in items:
+        merger.push(item)
+    return merger.result()
+
+
+def _merge_pair(left, right):
+    """The in-place accumulator merge as a two-argument function."""
+    return left.merge(right)
+
+
 def merge_shards(shards: Iterable[LogShard]) -> LogShard:
-    """Merge pipeline shards in stream order."""
-    merged = LogShard()
-    for shard in shards:
-        merged.merge(shard)
-    return merged
+    """Merge pipeline shards in stream order (pairwise tree)."""
+    merged = tree_merge(shards, _merge_pair)
+    return merged if merged is not None else LogShard()
 
 
 def merge_studies(studies: Iterable[CorpusStudy], dedup: bool = True) -> CorpusStudy:
-    """Merge partial studies in stream order."""
+    """Merge partial studies in stream order (pairwise tree)."""
     merged = CorpusStudy(dedup=dedup)
-    for study in studies:
-        merged.merge(study)
+    tail = tree_merge(studies, _merge_pair)
+    if tail is not None:
+        merged.merge(tail)
     return merged
 
 
@@ -454,44 +807,45 @@ def merge_studies(studies: Iterable[CorpusStudy], dedup: bool = True) -> CorpusS
 # ---------------------------------------------------------------------------
 
 
-def _resolve_chunk_size(
-    chunk_size: Optional[int], corpora: Mapping[str, Iterable], workers: int
-) -> int:
-    """Pick a chunk size without forcing lazy inputs.
+def _corpus_total(corpora: Mapping[str, Iterable]) -> Optional[int]:
+    """Total sized length of a corpus, or ``None`` with any lazy stream.
 
-    When every stream knows its length, size chunks against the whole
-    corpus (many small logs must not explode into many tiny shards).
-    Any unsized iterator in the mix means streaming mode: a fixed
-    default keeps memory bounded without counting the stream first.
+    When every stream knows its length, the adaptive schedule sizes
+    chunks against the whole corpus (many small logs must not explode
+    into many tiny shards).  Any unsized iterator in the mix means
+    streaming mode: growth caps at a fixed size so memory stays bounded
+    without counting the stream first.
     """
-    if chunk_size is not None:
-        if chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-        return chunk_size
-    sizes = []
+    total = 0
     for texts in corpora.values():
         if not hasattr(texts, "__len__"):
-            return DEFAULT_STREAM_CHUNK_SIZE
-        sizes.append(len(texts))  # type: ignore[arg-type]
-    return default_chunk_size(sum(sizes), workers)
+            return None
+        total += len(texts)  # type: ignore[arg-type]
+    return total
 
 
 def build_query_logs_parallel(
     corpora: Mapping[str, Iterable[str]],
     extra_prefixes: Optional[Dict[str, str]] = None,
     *,
-    workers: Optional[int] = None,
+    workers: Union[int, str, None] = None,
     chunk_size: Optional[int] = None,
     options: Optional[AnalysisOptions] = None,
+    pool: Optional[WorkerPool] = None,
+    transport: Optional[TransportStats] = None,
 ) -> Dict[str, QueryLog]:
     """Streaming clean → parse → dedup over a whole corpus of raw logs.
 
     All datasets share one worker pool, so small logs don't each pay
-    the pool start-up cost.  Corpus values may be lists *or* lazy
-    iterators (e.g. :func:`repro.logs.sources.iter_entries`); either
-    way the stream is chunked lazily and consumed with bounded
-    in-flight chunks.  Per dataset, shards are merged in stream order:
-    the result is identical to the serial pipeline.
+    the pool start-up cost — and with *pool* (a persistent
+    :class:`WorkerPool`) not even this run pays it.  Corpus values may
+    be lists *or* lazy iterators (e.g.
+    :func:`repro.logs.sources.iter_entries`); either way the stream is
+    chunked lazily (adaptive sizes unless *chunk_size* pins one) and
+    consumed with bounded in-flight chunks.  Per dataset, shards reduce
+    through a pairwise merge tree in stream order: the result is
+    identical to the serial pipeline.  *transport* (when given)
+    receives the shipped-bytes and merge-time accounting.
 
     *options* selects sequence passes (``metrics`` containing
     ``streaks``): each chunk then also feeds its raw texts, in order,
@@ -505,8 +859,8 @@ def build_query_logs_parallel(
     dedup / AST stages are skipped entirely (sequence passes read the
     raw stream): Total stays exact, Valid/Unique report 0.
     """
-    workers = resolve_workers(workers)
-    size = _resolve_chunk_size(chunk_size, corpora, workers)
+    workers = pool.workers if pool is not None else resolve_workers(workers)
+    schedule = _chunk_schedule(chunk_size, _corpus_total(corpora), workers)
     if options is not None and not resolve_sequence_passes(options.metrics):
         options = None  # nothing order-aware to compute; keep payloads lean
     if (
@@ -536,7 +890,7 @@ def build_query_logs_parallel(
         """Lazily yield (dataset, chunk, prefixes, options, lookahead)."""
         for name, texts in corpora.items():
             held: Optional[List[str]] = None
-            for chunk in iter_chunks(texts, size):
+            for chunk in iter_scheduled_chunks(texts, schedule):
                 if held is not None:
                     yield (name, held, extra_prefixes, options,
                            chunk[:lookahead_size])
@@ -544,6 +898,7 @@ def build_query_logs_parallel(
             if held is not None:
                 yield (name, held, extra_prefixes, options, None)
 
+    use_pool: Optional[WorkerPool] = None
     if workers == 1:
         # In-process: share one run-local parse cache across all chunks
         # and datasets, like the serial pipeline — duplicate-heavy logs
@@ -557,19 +912,39 @@ def build_query_logs_parallel(
             return _ingest_scored(name, texts, prefixes, chunk_options, lookahead, cache)
 
         worker_fn, initializer = parse_chunk, None
+    elif pool is not None:
+        worker_fn, initializer, use_pool = _pool_parse_chunk, None, pool
     else:
         worker_fn, initializer = _parse_chunk, _init_parse_worker
 
-    merged: Dict[str, LogShard] = {name: LogShard() for name in corpora}
-    for name, shard, counter_delta in imap_bounded(
-        worker_fn, payloads(), workers, initializer=initializer
+    mergers: Dict[str, _TreeMerger] = {
+        name: _TreeMerger(_merge_pair) for name in corpora
+    }
+    for result in imap_bounded(
+        worker_fn, payloads(), workers, initializer=initializer, pool=use_pool
     ):
-        merged[name].merge(shard)
+        if isinstance(result, bytes):
+            if transport is not None:
+                transport.chunks_shipped += 1
+                transport.shipped_bytes += len(result)
+            result = pickle.loads(result)
+        name, shard, counter_delta = result
+        started = perf_counter()
+        mergers[name].push(shard)
+        if transport is not None:
+            transport.merge_seconds += perf_counter() - started
         if counter_delta is not None:
             # Fold the chunk's similarity-counter work into the parent's
             # per-process counters; without this, instrumentation done on
             # pool workers would be silently dropped from sharded runs.
             SIMILARITY_COUNTERS.add(counter_delta)
+    merged: Dict[str, LogShard] = {}
+    started = perf_counter()
+    for name, merger in mergers.items():
+        shard = merger.result()
+        merged[name] = shard if shard is not None else LogShard()
+    if transport is not None:
+        transport.merge_seconds += perf_counter() - started
     if options is not None:
         # An empty corpus yields zero chunks and therefore no worker-built
         # accumulators; selected sequence metrics must still come back as
@@ -587,9 +962,11 @@ def build_query_log_parallel(
     raw_queries: Iterable[str],
     extra_prefixes: Optional[Dict[str, str]] = None,
     *,
-    workers: Optional[int] = None,
+    workers: Union[int, str, None] = None,
     chunk_size: Optional[int] = None,
     options: Optional[AnalysisOptions] = None,
+    pool: Optional[WorkerPool] = None,
+    transport: Optional[TransportStats] = None,
 ) -> QueryLog:
     """Streaming clean → parse → dedup, identical to the serial pipeline."""
     logs = build_query_logs_parallel(
@@ -598,6 +975,8 @@ def build_query_log_parallel(
         workers=workers,
         chunk_size=chunk_size,
         options=options,
+        pool=pool,
+        transport=transport,
     )
     return logs[name]
 
@@ -606,9 +985,11 @@ def study_corpus_parallel(
     logs: Mapping[str, QueryLog],
     dedup: bool = True,
     *,
-    workers: Optional[int] = None,
+    workers: Union[int, str, None] = None,
     chunk_size: Optional[int] = None,
     options: Optional[AnalysisOptions] = None,
+    pool: Optional[WorkerPool] = None,
+    transport: Optional[TransportStats] = None,
 ) -> CorpusStudy:
     """Sharded corpus study, identical to the serial :func:`study_corpus`.
 
@@ -617,12 +998,18 @@ def study_corpus_parallel(
     counters only, so merging never double-counts the pipeline totals.
     Chunks are produced lazily and kept in flight in bounded number, so
     even a huge materialized log is never copied wholesale into a
-    payload list — and on fork platforms workers receive (name, start,
-    stop) index slices and read the logs through inherited memory, so
-    no AST chunks are pickled into the pool at all (only the small
-    partial studies come back).
+    payload list.  Partial studies reduce through a pairwise merge tree
+    in stream order.
+
+    Without *pool*, per-call executors are used and on fork platforms
+    workers receive (name, start, stop) index slices, reading the logs
+    through inherited memory — no AST chunks are pickled into the pool
+    at all.  With a persistent *pool* the workers forked before this
+    run's logs existed, so query chunks are shipped in and compact
+    pre-reduced partial studies come back (pre-pickled, counted into
+    *transport*).
     """
-    workers = resolve_workers(workers)
+    workers = pool.workers if pool is not None else resolve_workers(workers)
     if options is None:
         options = DEFAULT_OPTIONS
     store: Optional[StructureStore] = None
@@ -637,7 +1024,7 @@ def study_corpus_parallel(
             options = replace(options, structure_cache_path=None)
     try:
         return _study_corpus_parallel(
-            logs, dedup, workers, chunk_size, options, store
+            logs, dedup, workers, chunk_size, options, store, pool, transport
         )
     finally:
         if store is not None:
@@ -651,6 +1038,8 @@ def _study_corpus_parallel(
     chunk_size: Optional[int],
     options: AnalysisOptions,
     store: Optional[StructureStore],
+    pool: Optional[WorkerPool],
+    transport: Optional[TransportStats],
 ) -> CorpusStudy:
     """The driver body behind :func:`study_corpus_parallel`.
 
@@ -660,10 +1049,8 @@ def _study_corpus_parallel(
     duplicate discoveries across workers are harmless.
     """
     study = CorpusStudy(dedup=dedup)
-    size = chunk_size
-    if size is None:
-        total = sum(log.unique for log in logs.values())
-        size = default_chunk_size(total, workers)
+    total = sum(log.unique for log in logs.values())
+    schedule = _chunk_schedule(chunk_size, total, workers)
     for name, log in logs.items():
         # The sequence accumulators (like the Table 1 counters) were
         # computed at ingestion over the whole ordered stream; worker
@@ -674,26 +1061,72 @@ def _study_corpus_parallel(
         )
     initializer = partial(_init_measure_worker, options)
 
+    def drain(results: Iterable) -> None:
+        """Tree-merge partial studies as they arrive, flushing store rows."""
+        merger = _TreeMerger(_merge_pair)
+        for result in results:
+            if isinstance(result, bytes):
+                if transport is not None:
+                    transport.chunks_shipped += 1
+                    transport.shipped_bytes += len(result)
+                result = pickle.loads(result)
+            shard, rows = result
+            started = perf_counter()
+            merger.push(shard)
+            if transport is not None:
+                transport.merge_seconds += perf_counter() - started
+            if store is not None:
+                store.put_many(rows)
+        started = perf_counter()
+        tail = merger.result()
+        if tail is not None:
+            study.merge(tail)
+        if transport is not None:
+            transport.merge_seconds += perf_counter() - started
+
+    def chunk_payloads() -> Iterator[Tuple[str, List[ParsedQuery], bool, AnalysisOptions]]:
+        """Lazily yield (dataset, chunk, dedup, options) payloads."""
+        for name, log in logs.items():
+            for chunk in iter_scheduled_chunks(log.unique_queries(), schedule):
+                yield (name, chunk, dedup, options)
+
+    if pool is not None and workers != 1:
+        # Persistent pool: workers forked before this run's logs
+        # existed, so chunks of the unique stream are shipped in and
+        # compact snapshot payloads come back (see _pool_measure_chunk).
+        drain(
+            imap_bounded(
+                _pool_measure_chunk, chunk_payloads(), workers, pool=pool
+            )
+        )
+        return study
+
     if workers != 1 and _fork_context() is not None:
-        # Fork path: ship (name, start, stop) index slices and let the
-        # workers read the logs from inherited memory — no pickling of
-        # AST chunks into the pool, only the small partial studies back.
+        # Per-call fork path: ship (name, start, stop) index slices and
+        # let the workers read the logs from inherited memory — no
+        # pickling of AST chunks into the pool, only the small partial
+        # studies back.
         def slice_payloads() -> Iterator[Tuple[str, int, int, bool, AnalysisOptions]]:
             """Lazily yield (dataset, start, stop) index-slice payloads."""
             for name, log in logs.items():
-                for start in range(0, log.unique, size):
-                    yield (name, start, min(start + size, log.unique), dedup, options)
+                start = 0
+                while start < log.unique:
+                    stop = min(start + next(schedule), log.unique)
+                    yield (name, start, stop, dedup, options)
+                    start = stop
 
         global _SHARED_LOGS
         with _SHARED_LOGS_LOCK:
             _SHARED_LOGS = logs
             try:
-                for shard, rows in imap_bounded(
-                    _measure_slice, slice_payloads(), workers, initializer=initializer
-                ):
-                    study.merge(shard)
-                    if store is not None:
-                        store.put_many(rows)
+                drain(
+                    imap_bounded(
+                        _measure_slice,
+                        slice_payloads(),
+                        workers,
+                        initializer=initializer,
+                    )
+                )
             finally:
                 _SHARED_LOGS = None
         return study
@@ -724,16 +1157,7 @@ def _study_corpus_parallel(
     else:
         worker_fn = _measure_chunk
 
-    def payloads() -> Iterator[Tuple[str, List[ParsedQuery], bool, AnalysisOptions]]:
-        """Lazily yield (dataset, chunk, dedup, options) payloads."""
-        for name, log in logs.items():
-            for chunk in iter_chunks(log.unique_queries(), size):
-                yield (name, chunk, dedup, options)
-
-    for shard, rows in imap_bounded(
-        worker_fn, payloads(), workers, initializer=initializer
-    ):
-        study.merge(shard)
-        if store is not None:
-            store.put_many(rows)
+    drain(
+        imap_bounded(worker_fn, chunk_payloads(), workers, initializer=initializer)
+    )
     return study

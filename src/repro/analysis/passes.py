@@ -396,6 +396,13 @@ class PassProfile:
     #: Lookups served from the persistent structure store (a subset of
     #: ``cache_misses``: the in-memory LRU missed, the disk layer hit).
     store_hits: int = 0
+    #: Chunk results that crossed the worker-pool boundary as
+    #: serialized payloads (0 for in-process runs).
+    chunks_shipped: int = 0
+    #: Total pickled bytes of those shipped chunk results.
+    shipped_bytes: int = 0
+    #: Parent-side wall time spent merging partial shards/studies.
+    merge_seconds: float = 0.0
 
     def merge(self, other: "PassProfile") -> "PassProfile":
         """Fold another profile's timings and cache stats into this one."""
@@ -405,6 +412,9 @@ class PassProfile:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.store_hits += other.store_hits
+        self.chunks_shipped += other.chunks_shipped
+        self.shipped_bytes += other.shipped_bytes
+        self.merge_seconds += other.merge_seconds
         return self
 
     @property

@@ -293,6 +293,9 @@ def profile_to_dict(profile: PassProfile) -> Dict[str, Any]:
         "cache_hits": profile.cache_hits,
         "cache_misses": profile.cache_misses,
         "store_hits": profile.store_hits,
+        "chunks_shipped": profile.chunks_shipped,
+        "shipped_bytes": profile.shipped_bytes,
+        "merge_seconds": profile.merge_seconds,
     }
 
 
@@ -306,17 +309,25 @@ def profile_from_dict(data: Any) -> PassProfile:
         for name, elapsed in seconds.items()
     ):
         raise StudySnapshotError("pass profile: 'seconds' must map pass names to numbers")
-    # ``store_hits`` arrived with the persistent structure store;
-    # profiles snapshotted before it simply read 0.
-    store_hits = data.get("store_hits", 0)
-    if not isinstance(store_hits, int) or isinstance(store_hits, bool):
-        raise StudySnapshotError("pass profile: 'store_hits' must be an integer")
+    # Later-vintage counters (``store_hits`` with the persistent
+    # structure store, the transport trio with the parallel runtime):
+    # profiles snapshotted before each simply read 0.
+    optional_ints = {}
+    for key in ("store_hits", "chunks_shipped", "shipped_bytes"):
+        value = data.get(key, 0)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise StudySnapshotError(f"pass profile: '{key}' must be an integer")
+        optional_ints[key] = value
+    merge_seconds = data.get("merge_seconds", 0.0)
+    if not isinstance(merge_seconds, (int, float)) or isinstance(merge_seconds, bool):
+        raise StudySnapshotError("pass profile: 'merge_seconds' must be a number")
     return PassProfile(
         seconds={name: float(elapsed) for name, elapsed in seconds.items()},
         queries=_require_int(data, "queries", "pass profile"),
         cache_hits=_require_int(data, "cache_hits", "pass profile"),
         cache_misses=_require_int(data, "cache_misses", "pass profile"),
-        store_hits=store_hits,
+        merge_seconds=float(merge_seconds),
+        **optional_ints,
     )
 
 

@@ -25,7 +25,16 @@ from __future__ import annotations
 import warnings
 from collections import Counter
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, List, Mapping, MutableMapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    MutableMapping,
+    Optional,
+    Tuple,
+)
 
 from ..logs.pipeline import ParsedQuery, QueryLog
 from .context import DEFAULT_OPTIONS, AnalysisOptions, StructureCache
@@ -34,6 +43,9 @@ from .operators import TABLE3_ROWS
 from .passes import NON_CTRACT_LIMIT, PassProfile, resolve_passes, run_passes
 from .shapes import SHAPE_ORDER
 from .streaks import StreakAccumulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .parallel import TransportStats, WorkerPool
 
 __all__ = ["DatasetStats", "CorpusStudy", "measure_query", "study_corpus"]
 
@@ -520,14 +532,17 @@ def study_corpus(
     workers: int = 1,
     chunk_size: Optional[int] = None,
     options: Optional[AnalysisOptions] = None,
+    pool: Optional["WorkerPool"] = None,
+    transport: Optional["TransportStats"] = None,
 ) -> CorpusStudy:
     """Run the full analysis over processed logs.
 
-    With ``workers > 1`` the per-dataset query streams are split into
-    lazily-produced chunks measured on worker processes with bounded
-    in-flight chunks, and the partial studies merged in stream order
-    (see :mod:`repro.analysis.parallel`); the result is identical to
-    the serial pass.
+    With ``workers > 1`` (or a persistent *pool*) the per-dataset query
+    streams are split into lazily-produced chunks measured on worker
+    processes with bounded in-flight chunks, and the partial studies
+    merged in stream order (see :mod:`repro.analysis.parallel`); the
+    result is identical to the serial pass.  *transport* (when given)
+    receives the sharded run's shipped-bytes and merge-time accounting.
 
     *options* selects passes (``metrics``), configures the shape-node
     limit and structural cache, and enables per-pass profiling (the
@@ -535,11 +550,12 @@ def study_corpus(
     """
     if options is None:
         options = DEFAULT_OPTIONS
-    if workers != 1:
+    if workers != 1 or pool is not None:
         from .parallel import study_corpus_parallel
 
         return study_corpus_parallel(
-            logs, dedup=dedup, workers=workers, chunk_size=chunk_size, options=options
+            logs, dedup=dedup, workers=workers, chunk_size=chunk_size,
+            options=options, pool=pool, transport=transport,
         )
     passes = resolve_passes(options.metrics)
     # With ``options.structure_cache_path`` set, the run cache is

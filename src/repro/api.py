@@ -9,7 +9,8 @@ paper's study lives behind three small types:
   (workers, chunk size, streaming ingestion).
 * :class:`AnalysisSession` — the orchestrator: resolves inputs, runs
   ingestion (clean → parse → dedup) and the analyzer-pass study, and
-  wraps the outcome.  Stateless; one session can run many requests.
+  wraps the outcome.  One session serves many requests, holding a
+  persistent worker pool that multi-worker runs reuse.
 * :class:`AnalysisResult` — the outcome: the
   :class:`~repro.analysis.study.CorpusStudy`, the processed
   :class:`~repro.logs.pipeline.QueryLog` objects (when ingestion ran
@@ -46,7 +47,12 @@ from .analysis.context import (
     DEFAULT_STRUCTURE_CACHE_SIZE,
     AnalysisOptions,
 )
-from .analysis.parallel import build_query_logs_parallel
+from .analysis.parallel import (
+    TransportStats,
+    WorkerPool,
+    build_query_logs_parallel,
+    resolve_workers,
+)
 from .analysis.passes import (
     PassProfile,
     resolve_passes,
@@ -108,9 +114,13 @@ class AnalysisRequest:
     streak_threshold: float = DEFAULT_STREAK_THRESHOLD
     #: Stream file inputs lazily (bounded-memory ingestion).
     stream: bool = False
-    #: Worker processes for ingestion and measurement (1 = in-process).
-    workers: int = 1
-    #: Entries per shard; ``None`` picks a deterministic default.
+    #: Worker processes for ingestion and measurement: a positive int
+    #: (1 = in-process) or ``"auto"`` for all CPUs available to this
+    #: process — the recommended setting on multi-core machines.
+    workers: Union[int, str] = 1
+    #: Entries per shard; ``None`` uses the adaptive schedule (chunks
+    #: start small and grow geometrically — see
+    #: :func:`repro.analysis.parallel.adaptive_chunk_sizes`).
     chunk_size: Optional[int] = None
     #: Extra PREFIX declarations assumed by the endpoint's parser.
     extra_prefixes: Optional[Mapping[str, str]] = None
@@ -156,7 +166,13 @@ class AnalysisRequest:
             raise ValueError("provide either inputs or corpora, not both")
         if not self.inputs and self.corpora is None:
             raise ValueError("nothing to analyze: provide inputs or corpora")
-        if self.workers < 1:
+        if isinstance(self.workers, str):
+            if self.workers != "auto":
+                raise ValueError(
+                    f"workers must be a positive integer or 'auto', "
+                    f"got {self.workers!r}"
+                )
+        elif self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
@@ -288,19 +304,70 @@ class AnalysisResult:
 class AnalysisSession:
     """Orchestrates ingestion → analyzer passes → study.
 
-    Stateless by design: every :meth:`run` resolves its request from
-    scratch, so one session can serve many requests (and many threads)
-    without leaking parse caches or prefix environments between runs.
+    Every :meth:`run` resolves its request from scratch — no parse
+    caches or prefix environments leak between runs — but the session
+    owns one persistent :class:`~repro.analysis.parallel.WorkerPool`,
+    created lazily on the first multi-worker run and reused across
+    requests, datasets and corpora, so repeated runs don't pay the
+    worker start-up cost again.  (Worker-side caches staying warm
+    across runs is safe: they are keyed per configuration and
+    transparent — results never change, only timings.)
+
+    Usable as a context manager; :meth:`close` shuts the pool down and
+    is idempotent.  Single-worker sessions never spawn a pool.
     """
+
+    def __init__(self) -> None:
+        self._pool: Optional[WorkerPool] = None
+
+    def close(self) -> None:
+        """Shut down the session's worker pool, if one was created."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "AnalysisSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _pool_for(self, workers: int) -> Optional[WorkerPool]:
+        """The session pool sized for *workers* (``None`` when in-process).
+
+        A size change replaces the pool; otherwise the existing one —
+        and its warm worker caches — is reused as-is."""
+        if workers <= 1:
+            return None
+        if self._pool is not None and self._pool.workers != workers:
+            self._pool.close()
+            self._pool = None
+        if self._pool is None:
+            self._pool = WorkerPool(workers)
+        return self._pool
 
     def run(self, request: AnalysisRequest) -> AnalysisResult:
         """Execute *request* end to end and wrap the outcome."""
         request.validate()
-        logs = self.ingest(request)
-        study = self.measure(logs, request)
+        pool = self._pool_for(resolve_workers(request.workers))
+        transport = TransportStats()
+        logs = self.ingest(request, pool=pool, transport=transport)
+        study = self.measure(logs, request, pool=pool, transport=transport)
+        if request.profile:
+            # Shipped-bytes/merge-time accounting rides the profile (a
+            # lean sequence-only run has no measure-phase profile yet).
+            if study.pass_profile is None:
+                study.pass_profile = PassProfile()
+            transport.add_to_profile(study.pass_profile)
         return AnalysisResult(study=study, logs=logs, request=request)
 
-    def ingest(self, request: AnalysisRequest) -> Dict[str, QueryLog]:
+    def ingest(
+        self,
+        request: AnalysisRequest,
+        *,
+        pool: Optional[WorkerPool] = None,
+        transport: Optional[TransportStats] = None,
+    ) -> Dict[str, QueryLog]:
         """Clean → parse → dedup the request's inputs into query logs.
 
         Sequence metrics (``streaks``) are computed here — the ordered
@@ -312,15 +379,18 @@ class AnalysisSession:
         corpora = self._resolve_corpora(request)
         prefixes = dict(request.extra_prefixes) if request.extra_prefixes else None
         sequences = resolve_sequence_passes(request.metrics)
-        if request.stream or request.workers != 1 or sequences:
+        workers = pool.workers if pool is not None else resolve_workers(request.workers)
+        if request.stream or workers != 1 or sequences:
             # One pool over all datasets: small logs share the worker
             # start-up; lazy sources keep peak memory O(workers × chunk).
             return build_query_logs_parallel(
                 corpora,
                 prefixes,
-                workers=request.workers,
+                workers=workers,
                 chunk_size=request.chunk_size,
                 options=request.options() if sequences else None,
+                pool=pool,
+                transport=transport,
             )
         # Serial path: one parse cache across all datasets, so texts
         # recurring across endpoint logs are parsed once.
@@ -331,15 +401,22 @@ class AnalysisSession:
         }
 
     def measure(
-        self, logs: Mapping[str, QueryLog], request: AnalysisRequest
+        self,
+        logs: Mapping[str, QueryLog],
+        request: AnalysisRequest,
+        *,
+        pool: Optional[WorkerPool] = None,
+        transport: Optional[TransportStats] = None,
     ) -> CorpusStudy:
         """Run the analyzer-pass study over already-processed logs."""
         return study_corpus(
             logs,
             dedup=request.dedup,
-            workers=request.workers,
+            workers=pool.workers if pool is not None else resolve_workers(request.workers),
             chunk_size=request.chunk_size,
             options=request.options(),
+            pool=pool,
+            transport=transport,
         )
 
     def _resolve_corpora(
@@ -358,7 +435,8 @@ def analyze(*inputs: PathLike, **kwargs: object) -> AnalysisResult:
 
     Keyword arguments are :class:`AnalysisRequest` fields."""
     request = AnalysisRequest(inputs=tuple(inputs), **kwargs)  # type: ignore[arg-type]
-    return AnalysisSession().run(request)
+    with AnalysisSession() as session:
+        return session.run(request)
 
 
 def analyze_corpora(
@@ -366,7 +444,8 @@ def analyze_corpora(
 ) -> AnalysisResult:
     """One-call facade over in-memory corpora (name → raw texts)."""
     request = AnalysisRequest(corpora=corpora, **kwargs)  # type: ignore[arg-type]
-    return AnalysisSession().run(request)
+    with AnalysisSession() as session:
+        return session.run(request)
 
 
 def merge_studies(

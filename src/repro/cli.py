@@ -115,7 +115,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         structure_cache_path=args.structure_cache,
     )
     try:
-        result = AnalysisSession().run(request)
+        with AnalysisSession() as session:
+            result = session.run(request)
     except (ValueError, OSError) as error:
         # Bad options and unreadable inputs exit the same way: code 2
         # with a one-line message, never a traceback.
@@ -235,7 +236,8 @@ def _cmd_streaks(args: argparse.Namespace) -> int:
             return 2
         request = AnalysisRequest(inputs=(args.file,), **common)  # type: ignore[arg-type]
     try:
-        result = AnalysisSession().run(request)
+        with AnalysisSession() as session:
+            result = session.run(request)
     except (ValueError, OSError) as error:
         print(f"streaks: {error}", file=sys.stderr)
         return 2
@@ -290,6 +292,21 @@ def _positive_int(value: str) -> int:
     number = int(value)
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return number
+
+
+def _workers_arg(value: str):
+    """``--workers``: a positive integer, or ``auto`` for all CPUs."""
+    if value.strip().lower() == "auto":
+        return "auto"
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 or 'auto', got {value}"
+        ) from None
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1 or 'auto', got {value}")
     return number
 
 
@@ -354,10 +371,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument(
         "--workers",
-        type=_positive_int,
+        type=_workers_arg,
         default=1,
         metavar="N",
-        help="worker processes for parsing and measuring "
+        help="worker processes for parsing and measuring, or 'auto' for "
+        "all CPUs — the recommended setting on multi-core machines "
         "(output is identical to the serial pass)",
     )
     analyze.add_argument(
@@ -365,8 +383,8 @@ def _build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         metavar="N",
-        help="entries per shard (default: ~4 chunks per worker, or "
-        "1024 when streaming)",
+        help="entries per shard (default: adaptive — chunks start small "
+        "and grow toward ~8 per worker, capped at 1024 when streaming)",
     )
     analyze.add_argument(
         "--metrics",
@@ -538,18 +556,18 @@ def _build_parser() -> argparse.ArgumentParser:
     streaks.add_argument("--seed", type=int, default=0)
     streaks.add_argument(
         "--workers",
-        type=_positive_int,
+        type=_workers_arg,
         default=1,
         metavar="N",
-        help="worker processes (the sharded scan is byte-identical "
-        "to the serial one)",
+        help="worker processes, or 'auto' for all CPUs (the sharded "
+        "scan is byte-identical to the serial one)",
     )
     streaks.add_argument(
         "--chunk-size",
         type=_positive_int,
         default=None,
         metavar="N",
-        help="entries per shard (default: deterministic, sized to the input)",
+        help="entries per shard (default: adaptive, sized to the input)",
     )
     streaks.add_argument(
         "--full-ingestion",

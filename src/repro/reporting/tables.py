@@ -520,6 +520,12 @@ def render_pass_profile(profile: PassProfile) -> str:
         summary.append(
             f"persistent store: served {profile.store_hits:,} of the misses"
         )
+    if profile.chunks_shipped:
+        summary.append(
+            f"shard transport: {profile.chunks_shipped:,} chunks, "
+            f"{profile.shipped_bytes:,} bytes shipped, "
+            f"merge {profile.merge_seconds:.3f}s"
+        )
     return (
         render_table(
             "Analyzer passes: wall time per pass",
