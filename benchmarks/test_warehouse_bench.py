@@ -1,0 +1,107 @@
+"""Study warehouse: ingest throughput and query latency, machine-readable.
+
+Builds one per-dataset snapshot per corpus dataset, ingests them all
+into a fresh warehouse, then times queries twice — cold (fresh handle,
+first render parses the stored study document) and warm (same handle,
+per-generation study cache hot) — plus a round of indexed queries that
+never touch the study document at all.  Writes ``BENCH_warehouse.json``
+(path overridable via ``REPRO_BENCH_WAREHOUSE_JSON``) with the ingest
+rate, both report latencies, the indexed-query latency, and the
+byte-identity verdict against a direct ``render_report`` over the
+one-shot study.  The CI bench-smoke job uploads the file and asserts
+the verdict, so a warehouse that drifts from the reporter registry
+fails the build instead of quietly serving different bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from _bench_utils import banner
+from repro.analysis.study import study_corpus
+from repro.reporting import render_report
+from repro.warehouse import StudyWarehouse
+
+
+def test_warehouse_artifact(corpus_logs, corpus_study, tmp_path):
+    snapshots = [
+        study_corpus({name: log}) for name, log in corpus_logs.items()
+    ]
+    total_queries = sum(study.query_count for study in snapshots)
+    path = tmp_path / "bench.warehouse"
+
+    start = time.perf_counter()
+    with StudyWarehouse.open(path) as warehouse:
+        for name, study in zip(corpus_logs, snapshots):
+            assert warehouse.ingest(study, source=name) == "merged"
+    ingest_seconds = time.perf_counter() - start
+
+    # Cold: a fresh read-only handle; the first render parses the
+    # stored snapshot document.
+    start = time.perf_counter()
+    with StudyWarehouse.open(path, readonly=True) as warehouse:
+        cold_report = warehouse.render("text")
+        cold_seconds = time.perf_counter() - start
+
+        # Warm: same handle, study cache hot for this generation.
+        start = time.perf_counter()
+        warm_report = warehouse.render("text")
+        warm_seconds = time.perf_counter() - start
+
+        # Indexed queries answer from derived tables, not the document.
+        start = time.perf_counter()
+        dataset_total, _ = warehouse.datasets()
+        cell_total, _ = warehouse.table_cells(1)
+        search_total, _ = warehouse.search("SELECT")
+        indexed_seconds = time.perf_counter() - start
+
+    direct = render_report(corpus_study, "text")
+    identical = cold_report == direct and warm_report == direct
+
+    payload = {
+        "warehouse": {
+            "snapshots": len(snapshots),
+            "datasets": dataset_total,
+            "queries": total_queries,
+            "size_bytes": path.stat().st_size,
+            "ingest": {
+                "total_seconds": round(ingest_seconds, 6),
+                "queries_per_second": round(total_queries / ingest_seconds, 1),
+            },
+            "query": {
+                "cold_report_seconds": round(cold_seconds, 6),
+                "warm_report_seconds": round(warm_seconds, 6),
+                "indexed_seconds": round(indexed_seconds, 6),
+                "table1_cells": cell_total,
+                "search_hits": search_total,
+            },
+            "identical_reports": identical,
+        }
+    }
+    out_path = Path(
+        os.environ.get("REPRO_BENCH_WAREHOUSE_JSON", "BENCH_warehouse.json")
+    )
+    # Merge key-wise, same contract as the other bench artifacts.
+    if out_path.exists():
+        merged = json.loads(out_path.read_text(encoding="utf-8"))
+        merged.update(payload)
+        payload = merged
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    banner("Study warehouse: ingest throughput and query latency")
+    print(
+        f"  ingest: {len(snapshots)} snapshots / {total_queries:,} queries "
+        f"in {ingest_seconds:8.4f}s "
+        f"({total_queries / ingest_seconds:,.0f} q/s)"
+    )
+    print(
+        f"  report: cold {cold_seconds:8.4f}s, warm {warm_seconds:8.4f}s; "
+        f"indexed queries {indexed_seconds:8.4f}s"
+    )
+    print(f"  identical to direct render_report: {identical}")
+
+    assert identical, "warehouse-served report must match render_report"
+    assert dataset_total == len(corpus_logs)

@@ -64,6 +64,7 @@ from .api import (
     analyze_corpora,
     load_study,
     merge_studies,
+    open_warehouse,
     save_study,
 )
 from .engine import IndexedEngine, NestedLoopEngine
@@ -71,9 +72,11 @@ from .exceptions import (
     EvaluationError,
     EvaluationTimeout,
     LogFormatError,
+    ReporterRegistrationError,
     ReproError,
     SparqlSyntaxError,
     StudySnapshotError,
+    WarehouseError,
     WorkloadError,
 )
 from .logs import LogShard, ParseCache, QueryLog, build_query_log, process_entries
@@ -86,6 +89,7 @@ from .reporting import (
     reporter_names,
 )
 from .sparql import parse_query, serialize_query
+from .warehouse import StudyWarehouse
 from .workload import (
     bib_schema,
     generate_corpus,
@@ -94,7 +98,7 @@ from .workload import (
     generate_workload,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AnalysisRequest",
@@ -104,8 +108,11 @@ __all__ = [
     "analyze",
     "analyze_corpora",
     "load_study",
+    "open_warehouse",
     "save_study",
     "StudySnapshotError",
+    "StudyWarehouse",
+    "WarehouseError",
     "Reporter",
     "get_reporter",
     "register_reporter",
@@ -136,6 +143,7 @@ __all__ = [
     "EvaluationError",
     "EvaluationTimeout",
     "LogFormatError",
+    "ReporterRegistrationError",
     "ReproError",
     "SparqlSyntaxError",
     "WorkloadError",

@@ -35,6 +35,7 @@ round trip is exact.
 
 from __future__ import annotations
 
+import gzip
 import json
 from collections import Counter
 from dataclasses import fields
@@ -42,7 +43,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Union
 
 from ..exceptions import StudySnapshotError
-from ..ioutils import atomic_write_text
+from ..ioutils import atomic_write_bytes
 from .passes import PassProfile
 from .streaks import StreakAccumulator, _Chain
 from .study import CorpusStudy, DatasetStats
@@ -496,25 +497,47 @@ def study_from_dict(data: Any) -> CorpusStudy:
 # ---------------------------------------------------------------------------
 
 
+#: gzip member header magic (RFC 1952) — the same detection idiom the
+#: log-ingestion layer uses (:mod:`repro.logs.sources`).
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
 def save_study(study: CorpusStudy, path: Union[str, Path]) -> None:
     """Write *study* to *path* as a pretty-printed JSON snapshot.
 
-    The write is atomic (same-directory temp file + rename): a crash or
-    interrupt mid-save leaves the previous snapshot intact rather than
-    a truncated file that :func:`load_study` would reject.
+    A path ending in ``.gz`` (e.g. ``study.json.gz``) is written
+    gzip-compressed, with a zeroed timestamp so equal studies produce
+    byte-identical files.  The write is atomic (same-directory temp
+    file + rename): a crash or interrupt mid-save leaves the previous
+    snapshot intact rather than a truncated file that
+    :func:`load_study` would reject.
     """
-    payload = json.dumps(study_to_dict(study), indent=2)
-    atomic_write_text(path, payload + "\n")
+    payload = (json.dumps(study_to_dict(study), indent=2) + "\n").encode("utf-8")
+    if Path(path).suffix == ".gz":
+        payload = gzip.compress(payload, mtime=0)
+    atomic_write_bytes(path, payload)
 
 
 def load_study(path: Union[str, Path]) -> CorpusStudy:
     """Load a snapshot written by :func:`save_study`.
 
-    Raises :class:`~repro.exceptions.StudySnapshotError` for unreadable
-    or mis-versioned content (I/O errors propagate as ``OSError``)."""
-    text = Path(path).read_text(encoding="utf-8")
+    gzip-compressed snapshots are recognized by their magic bytes, not
+    the file name, so a misnamed ``study.json`` that is actually
+    gzipped still loads.  Raises
+    :class:`~repro.exceptions.StudySnapshotError` for unreadable or
+    mis-versioned content (I/O errors propagate as ``OSError``)."""
+    raw = Path(path).read_bytes()
+    if raw[: len(_GZIP_MAGIC)] == _GZIP_MAGIC:
+        try:
+            raw = gzip.decompress(raw)
+        except (OSError, EOFError) as error:
+            raise StudySnapshotError(
+                f"{path}: truncated or corrupt gzip data ({error})"
+            ) from error
     try:
-        data = json.loads(text)
+        data = json.loads(raw.decode("utf-8"))
+    except UnicodeDecodeError as error:
+        raise StudySnapshotError(f"{path}: not UTF-8 text ({error})") from error
     except json.JSONDecodeError as error:
         raise StudySnapshotError(f"{path}: not valid JSON ({error})") from error
     return study_from_dict(data)

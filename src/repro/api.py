@@ -75,6 +75,7 @@ __all__ = [
     "analyze_corpora",
     "load_study",
     "merge_studies",
+    "open_warehouse",
     "save_study",
 ]
 
@@ -473,3 +474,26 @@ def merge_studies(
             "merge_studies: need at least one study (or an explicit dedup=)"
         )
     return merged
+
+
+def open_warehouse(path: PathLike, *, readonly: bool = False):
+    """Open (or, unless *readonly*, create) a persistent study warehouse.
+
+    A warehouse is a SQLite file study snapshots are upserted into
+    (:meth:`~repro.warehouse.StudyWarehouse.ingest`) and queried
+    without re-running analysis — per-dataset stats, table cells,
+    streak histograms, full-text search — with reports rendered
+    through the reporter registry, byte-identical to
+    :func:`render_report` on the equivalently merged study::
+
+        from repro.api import analyze, open_warehouse
+
+        with open_warehouse("study.warehouse") as warehouse:
+            warehouse.ingest(analyze("endpoint.log").study)
+            print(warehouse.render("text"))
+
+    Raises :class:`~repro.exceptions.WarehouseError` for an unusable
+    file (corrupt, foreign, or from a newer schema)."""
+    from .warehouse import StudyWarehouse
+
+    return StudyWarehouse.open(path, readonly=readonly)

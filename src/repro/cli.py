@@ -18,6 +18,11 @@ Commands:
   ordered query log.
 * ``cache stats|clear PATH`` — inspect or empty a persistent structure
   cache written by ``analyze --structure-cache``.
+* ``warehouse ingest|query|stats`` — maintain and query a persistent
+  study warehouse (a SQLite file study snapshots are upserted into);
+  queries are answered from the warehouse without re-running analysis.
+* ``serve WAREHOUSE`` — serve a warehouse over HTTP with paginated
+  JSON endpoints (stdlib ``http.server``; no extra dependencies).
 
 The CLI is a thin veneer over :mod:`repro.api`; every command is
 covered by the test suite through :func:`main`.
@@ -26,6 +31,7 @@ covered by the test suite through :func:`main`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import warnings
 from pathlib import Path
@@ -35,9 +41,16 @@ from .analysis.context import DEFAULT_SHAPE_NODE_LIMIT, DEFAULT_STRUCTURE_CACHE_
 from .analysis.passes import PASS_NAMES, SEQUENCE_PASS_NAMES
 from .analysis.structure_store import StructureStore
 from .analysis.streaks import DEFAULT_STREAK_THRESHOLD, DEFAULT_STREAK_WINDOW
-from .api import AnalysisRequest, AnalysisSession, load_study, merge_studies, save_study
+from .api import (
+    AnalysisRequest,
+    AnalysisSession,
+    CorpusStudy,
+    load_study,
+    save_study,
+)
 from .engine import IndexedEngine, NestedLoopEngine
-from .exceptions import StudySnapshotError
+from .exceptions import StudySnapshotError, WarehouseError
+from .warehouse import StudyWarehouse
 from .logs import encode_access_log_line, read_entries
 from .reporting import (
     get_reporter,
@@ -136,11 +149,24 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
-    try:
-        merged = merge_studies(load_study(path) for path in args.studies)
-    except (StudySnapshotError, OSError, ValueError) as error:
-        print(f"merge: {error}", file=sys.stderr)
-        return 2
+    # Load-and-merge one snapshot at a time (same semantics and bytes
+    # as `merge_studies`, bounded memory) so every failure names the
+    # offending file: with a dozen shards on the command line, "schema
+    # version 99" alone is not actionable.
+    merged: Optional[CorpusStudy] = None
+    for path in args.studies:
+        try:
+            study = load_study(path)
+        except (StudySnapshotError, OSError) as error:
+            print(f"merge: {path}: {error}", file=sys.stderr)
+            return 2
+        try:
+            if merged is None:
+                merged = CorpusStudy(dedup=study.dedup)
+            merged.merge(study)
+        except ValueError as error:
+            print(f"merge: {path}: {error}", file=sys.stderr)
+            return 2
     if args.out:
         try:
             save_study(merged, args.out)
@@ -285,6 +311,130 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     removed = store.clear()
     store.close()
     print(f"cleared {removed:,} entries from {args.store}")
+    return 0
+
+
+def _emit_page(total: int, items: List[dict]) -> None:
+    """Print one page of warehouse query results as indented JSON."""
+    _emit(json.dumps({"total": total, "items": items}, indent=2))
+
+
+def _cmd_warehouse_ingest(args: argparse.Namespace) -> int:
+    try:
+        with StudyWarehouse.open(args.store) as warehouse:
+            for path in args.studies:
+                try:
+                    study = load_study(path)
+                except (StudySnapshotError, OSError) as error:
+                    print(f"warehouse: {path}: {error}", file=sys.stderr)
+                    return 2
+                outcome = warehouse.ingest(study, source=str(path))
+                print(f"{outcome:>9}  {path}")
+            stats = warehouse.stats()
+    except WarehouseError as error:
+        print(f"warehouse: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"warehouse holds {stats['datasets']} dataset(s) "
+        f"from {stats['ingests']} snapshot(s)"
+    )
+    return 0
+
+
+def _cmd_warehouse_query(args: argparse.Namespace) -> int:
+    if args.dataset is not None and args.table is None:
+        print("warehouse: --dataset requires --table", file=sys.stderr)
+        return 2
+    try:
+        get_reporter(args.format)
+    except ValueError as error:
+        print(f"warehouse: {error}", file=sys.stderr)
+        return 2
+    try:
+        with StudyWarehouse.open(args.store, readonly=True) as warehouse:
+            if args.search is not None:
+                total, items = warehouse.search(
+                    args.search, limit=args.limit, offset=args.offset
+                )
+                _emit_page(total, items)
+            elif args.datasets:
+                total, items = warehouse.datasets(
+                    limit=args.limit, offset=args.offset
+                )
+                _emit_page(total, items)
+            elif args.streaks:
+                total, items = warehouse.streak_histograms(
+                    limit=args.limit, offset=args.offset
+                )
+                _emit_page(total, items)
+            elif args.caveats:
+                _emit(json.dumps(warehouse.caveats(), indent=2))
+            elif args.table is not None:
+                if args.dataset is not None:
+                    total, items = warehouse.table_cells(
+                        args.table,
+                        dataset=args.dataset,
+                        limit=args.limit,
+                        offset=args.offset,
+                    )
+                    _emit_page(total, items)
+                else:
+                    # The corpus-wide text block is a byte-exact slice
+                    # of the full `repro report` document.
+                    _emit(warehouse.table_text(args.table))
+            else:
+                _emit(warehouse.render(args.format))
+    except WarehouseError as error:
+        print(f"warehouse: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_warehouse_stats(args: argparse.Namespace) -> int:
+    try:
+        with StudyWarehouse.open(args.store, readonly=True) as warehouse:
+            stats = warehouse.stats()
+            log = warehouse.ingest_log()
+    except WarehouseError as error:
+        print(f"warehouse: {error}", file=sys.stderr)
+        return 2
+    print(f"warehouse:       {stats['path']}")
+    print(f"schema:          {stats['warehouse_schema']}")
+    print(f"generation:      {stats['generation']}")
+    print(f"text search:     {stats['fts']}")
+    print(f"corpus:          {stats['corpus'] or '(empty)'}")
+    print(f"snapshots:       {stats['ingests']:,}")
+    print(f"datasets:        {stats['datasets']:,}")
+    print(f"table cells:     {stats['cells']:,}")
+    print(f"query texts:     {stats['query_texts']:,}")
+    print(f"size on disk:    {stats['size_bytes']:,} bytes")
+    for entry in log:
+        print(f"  [{entry['seq']}] {entry['source']}: "
+              f"{', '.join(entry['datasets'])} ({entry['queries']:,} queries)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .warehouse.service import start_server
+
+    try:
+        server = start_server(
+            args.store, host=args.host, port=args.port, verbose=args.verbose
+        )
+    except WarehouseError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"serve: cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    print(f"serving {args.store} at {server.url} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -472,8 +622,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save-study",
         default=None,
         metavar="PATH",
-        help="also write the study as a versioned JSON snapshot "
-        "(reload with `repro report`, combine with `repro merge`)",
+        help="also write the study as a versioned JSON snapshot — a "
+        ".gz suffix gzip-compresses it (reload with `repro report`, "
+        "combine with `repro merge`, ingest with `repro warehouse`)",
     )
     _add_format_option(analyze)
     analyze.set_defaults(func=_cmd_analyze)
@@ -525,6 +676,131 @@ def _build_parser() -> argparse.ArgumentParser:
         help="a store file written by `repro analyze --structure-cache`",
     )
     cache.set_defaults(func=_cmd_cache)
+
+    warehouse = commands.add_parser(
+        "warehouse",
+        help="maintain and query a persistent study warehouse "
+        "(a SQLite file of ingested study snapshots)",
+    )
+    warehouse_commands = warehouse.add_subparsers(
+        dest="warehouse_command", required=True
+    )
+
+    wh_ingest = warehouse_commands.add_parser(
+        "ingest",
+        help="upsert study snapshots into a warehouse (idempotent per "
+        "snapshot; the file is created on first use)",
+    )
+    wh_ingest.add_argument(
+        "store",
+        metavar="WAREHOUSE",
+        help="the warehouse file (created if missing)",
+    )
+    wh_ingest.add_argument(
+        "studies",
+        nargs="+",
+        metavar="STUDY.json",
+        help="snapshots written by `repro analyze --save-study` or "
+        "`repro merge --out` (plain or gzip)",
+    )
+    wh_ingest.set_defaults(func=_cmd_warehouse_ingest)
+
+    wh_query = warehouse_commands.add_parser(
+        "query",
+        help="answer report/table/search queries from a warehouse "
+        "without re-running any analysis",
+    )
+    wh_query.add_argument(
+        "store", metavar="WAREHOUSE", help="a warehouse file"
+    )
+    selector = wh_query.add_mutually_exclusive_group()
+    selector.add_argument(
+        "--table",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="print one table (1-6): the byte-exact text block of the "
+        "full report, or dataset-scoped JSON cells with --dataset",
+    )
+    selector.add_argument(
+        "--datasets",
+        action="store_true",
+        help="list per-dataset pipeline counters as JSON",
+    )
+    selector.add_argument(
+        "--streaks",
+        action="store_true",
+        help="print per-dataset streak histograms (Table 6 data) as JSON",
+    )
+    selector.add_argument(
+        "--caveats",
+        action="store_true",
+        help="print coverage-caveat counters as JSON",
+    )
+    selector.add_argument(
+        "--search",
+        default=None,
+        metavar="TERM",
+        help="full-text search over the query texts the studies carry",
+    )
+    wh_query.add_argument(
+        "--dataset",
+        default=None,
+        metavar="NAME",
+        help="with --table: JSON cells scoped to one dataset",
+    )
+    wh_query.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=50,
+        metavar="N",
+        help="page size for list output (default 50)",
+    )
+    wh_query.add_argument(
+        "--offset",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help="page offset for list output (default 0)",
+    )
+    _add_format_option(wh_query)
+    wh_query.set_defaults(func=_cmd_warehouse_query)
+
+    wh_stats = warehouse_commands.add_parser(
+        "stats", help="print warehouse-level facts and the ingest log"
+    )
+    wh_stats.add_argument(
+        "store", metavar="WAREHOUSE", help="a warehouse file"
+    )
+    wh_stats.set_defaults(func=_cmd_warehouse_stats)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a study warehouse over HTTP (paginated JSON "
+        "endpoints; stdlib http.server, no extra dependencies)",
+    )
+    serve.add_argument(
+        "store", metavar="WAREHOUSE", help="a warehouse file"
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="address to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=8080,
+        metavar="PORT",
+        help="port to bind (default 8080; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log each request to stderr",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     corpus = commands.add_parser("corpus", help="generate the synthetic corpus")
     corpus.add_argument("--scale", type=float, default=1e-5)

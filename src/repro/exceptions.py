@@ -17,6 +17,8 @@ __all__ = [
     "WorkloadError",
     "LogFormatError",
     "StudySnapshotError",
+    "ReporterRegistrationError",
+    "WarehouseError",
 ]
 
 
@@ -68,3 +70,22 @@ class StudySnapshotError(ReproError):
     not JSON, carries an unexpected schema version, or is missing
     fields the loader needs — always with a message naming what was
     wrong, so ``repro merge``/``repro report`` can surface it."""
+
+
+class ReporterRegistrationError(ReproError, ValueError):
+    """A reporter was registered under a name that is already taken.
+
+    Subclasses :class:`ValueError` too, so pre-typed callers that
+    caught ``ValueError`` around :func:`repro.reporting.register_reporter`
+    keep working."""
+
+
+class WarehouseError(ReproError):
+    """A study warehouse operation failed.
+
+    Raised by :mod:`repro.warehouse` when a warehouse file is corrupt,
+    carries a foreign or future schema, or an ingest would combine
+    incompatible studies (corpus flavours, streak parameters) — always
+    with a message naming the problem, so ``repro warehouse`` and
+    ``repro serve`` can exit 2 instead of printing a traceback.  A
+    failed ingest rolls back: the warehouse keeps its previous state."""

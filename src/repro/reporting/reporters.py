@@ -28,6 +28,7 @@ import json
 from typing import Dict, Iterable, List, Protocol, Sequence, Tuple, runtime_checkable
 
 from ..analysis.study import CorpusStudy
+from ..exceptions import ReporterRegistrationError
 from .tables import (
     _pct,
     figure5_rows,
@@ -48,6 +49,7 @@ __all__ = [
     "register_reporter",
     "render_report",
     "reporter_names",
+    "study_long_rows",
 ]
 
 
@@ -123,7 +125,7 @@ class JsonlReporter:
         return "\n".join(lines) + "\n" if lines else ""
 
 
-def _study_long_rows(study: CorpusStudy) -> List[Tuple[str, str, str, str]]:
+def study_long_rows(study: CorpusStudy) -> List[Tuple[str, str, str, str]]:
     """Every table of the study flattened to (section, row, column, value).
 
     The long format makes every measurement one addressable cell —
@@ -229,7 +231,7 @@ class CsvReporter:
         buffer = io.StringIO()
         writer = csv.writer(buffer, lineterminator="\n")
         writer.writerow(("section", "row", "column", "value"))
-        writer.writerows(_study_long_rows(study))
+        writer.writerows(study_long_rows(study))
         return buffer.getvalue()
 
 
@@ -427,10 +429,14 @@ _REGISTRY: Dict[str, Reporter] = {}
 def register_reporter(reporter: Reporter, *, replace: bool = False) -> None:
     """Add *reporter* to the registry under ``reporter.name``.
 
-    Registering a taken name is an error unless ``replace=True`` —
-    accidental shadowing of a built-in format should be loud."""
+    Registering a taken name raises
+    :class:`~repro.exceptions.ReporterRegistrationError` unless
+    ``replace=True`` — accidental shadowing of a built-in format should
+    be loud."""
     if not replace and reporter.name in _REGISTRY:
-        raise ValueError(f"reporter {reporter.name!r} is already registered")
+        raise ReporterRegistrationError(
+            f"reporter {reporter.name!r} is already registered"
+        )
     _REGISTRY[reporter.name] = reporter
 
 

@@ -1,0 +1,24 @@
+"""Persistent study warehouse: durable, queryable study analytics.
+
+The snapshot codec (:mod:`repro.analysis.snapshot`) made studies
+portable; this package makes them *durable and servable*.  A
+:class:`StudyWarehouse` is a SQLite file you append study snapshots to
+(``repro warehouse ingest`` — an upsert through
+:meth:`~repro.analysis.study.CorpusStudy.merge`, idempotent per
+snapshot) and query without re-running any analysis: per-dataset
+stats, every table cell of the paper, streak histograms, coverage
+caveats, and FTS5 full-text search over the query texts the studies
+carry.  :mod:`repro.warehouse.service` serves the same warehouse over
+HTTP (``repro serve``) with paginated JSON endpoints, rendering
+reports through the reporter registry so a warehouse-served report is
+byte-identical to ``repro report`` on the equivalently merged
+snapshot.
+"""
+
+from .store import WAREHOUSE_SCHEMA_VERSION, StudyWarehouse, TABLE_SECTIONS
+
+__all__ = [
+    "WAREHOUSE_SCHEMA_VERSION",
+    "StudyWarehouse",
+    "TABLE_SECTIONS",
+]

@@ -1,0 +1,782 @@
+"""The SQLite-backed study warehouse.
+
+Storage layout (one file, WAL journal, ``synchronous=NORMAL``,
+schema-versioned via ``PRAGMA user_version`` — the same pragma idiom
+as :mod:`repro.analysis.structure_store`):
+
+* ``meta`` — key/value header: the warehouse kind tag, the corpus
+  flavour, the ingest generation counter, the FTS mode.
+* ``ingests`` — the append ledger: one row per distinct snapshot
+  digest ever merged.  Re-ingesting a byte-equivalent snapshot hits
+  the digest and is a no-op, which is what makes ``ingest`` idempotent.
+* ``study`` — the merged study's versioned snapshot document (the
+  same codec ``save_study`` writes), the warehouse's source of truth:
+  reports render from it through the reporter registry, byte-identical
+  to ``repro report`` over the equivalently merged snapshot.
+* ``datasets`` / ``cells`` / ``streaks`` / ``caveats`` — indexed
+  derived tables, rebuilt transactionally at each ingest: per-dataset
+  pipeline counters, every measurement cell of the paper's tables in
+  the long format of :func:`repro.reporting.reporters.study_long_rows`,
+  streak-length histograms, and coverage-caveat counters.  Queries
+  over these never touch the study document, let alone re-run any
+  analysis.
+* ``query_texts`` (+ ``query_fts``, FTS5) — the query texts a study
+  carries (non-Ctract property-path samples, streak head/tail texts),
+  full-text indexed for ``/search``.
+
+Unlike the structure store — an expendable cache that degrades to a
+cold run — the warehouse is *data*: every failure (corrupt file,
+foreign or future schema, incompatible ingest) raises a typed
+:class:`~repro.exceptions.WarehouseError` naming the problem, and a
+failed ingest rolls back, leaving the previous state intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..analysis.snapshot import study_from_dict, study_to_dict
+from ..analysis.study import CorpusStudy
+from ..exceptions import StudySnapshotError, WarehouseError
+from ..reporting.reporters import render_report, study_long_rows
+from ..reporting.tables import (
+    render_table1_from_study,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6_from_study,
+)
+
+__all__ = [
+    "TABLE_SECTIONS",
+    "WAREHOUSE_KIND",
+    "WAREHOUSE_SCHEMA_VERSION",
+    "StudyWarehouse",
+    "snapshot_digest",
+]
+
+#: The ``meta.kind`` tag every warehouse carries; a SQLite file
+#: without it is some other application's database, not ours.
+WAREHOUSE_KIND = "repro.study_warehouse"
+
+#: Each entry migrates the schema one version forward; entry ``i``
+#: brings ``user_version`` ``i`` to ``i + 1``.  Append — never edit —
+#: to evolve the schema: existing warehouses replay only the suffix.
+_MIGRATIONS: List[List[str]] = [
+    # 0 -> 1: the initial layout.
+    [
+        "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)",
+        """
+        CREATE TABLE ingests (
+            seq INTEGER PRIMARY KEY,
+            digest TEXT NOT NULL UNIQUE,
+            source TEXT NOT NULL,
+            datasets TEXT NOT NULL,
+            queries INTEGER NOT NULL
+        )
+        """,
+        "CREATE TABLE study (id INTEGER PRIMARY KEY CHECK (id = 1), body TEXT NOT NULL)",
+        """
+        CREATE TABLE datasets (
+            name TEXT PRIMARY KEY,
+            total INTEGER NOT NULL,
+            valid INTEGER NOT NULL,
+            unique_queries INTEGER NOT NULL,
+            analyzed INTEGER NOT NULL,
+            select_ask INTEGER NOT NULL,
+            triple_sum INTEGER NOT NULL,
+            streak_count INTEGER,
+            longest_streak INTEGER
+        )
+        """,
+        """
+        CREATE TABLE cells (
+            section TEXT NOT NULL,
+            row TEXT NOT NULL,
+            col TEXT NOT NULL,
+            value TEXT NOT NULL,
+            PRIMARY KEY (section, row, col)
+        ) WITHOUT ROWID
+        """,
+        # Keeps its implicit rowid: histogram buckets render in
+        # insertion order, and rowid is the cheapest way to keep it.
+        """
+        CREATE TABLE streaks (
+            dataset TEXT NOT NULL,
+            bucket TEXT NOT NULL,
+            count INTEGER NOT NULL,
+            UNIQUE (dataset, bucket)
+        )
+        """,
+        "CREATE TABLE caveats (name TEXT PRIMARY KEY, dropped INTEGER NOT NULL)",
+        """
+        CREATE TABLE query_texts (
+            id INTEGER PRIMARY KEY,
+            dataset TEXT NOT NULL,
+            kind TEXT NOT NULL,
+            text TEXT NOT NULL,
+            UNIQUE (dataset, kind, text)
+        )
+        """,
+    ],
+]
+
+#: Version of the current schema, recorded in ``PRAGMA user_version``.
+WAREHOUSE_SCHEMA_VERSION = len(_MIGRATIONS)
+
+#: The paper's table numbers mapped to the cell sections that hold
+#: their measurements (Table 4 repeats per fragment).
+TABLE_SECTIONS: Dict[int, Tuple[str, ...]] = {
+    1: ("table1",),
+    2: ("table2",),
+    3: ("table3",),
+    4: ("table4:CQ", "table4:CQF", "table4:CQOF"),
+    5: ("table5",),
+    6: ("table6",),
+}
+
+#: Text renderers for the same table numbers (blocks of the full text
+#: report, so a served table is a byte-exact slice of ``repro report``).
+_TABLE_RENDERERS = {
+    1: render_table1_from_study,
+    2: render_table2,
+    3: render_table3,
+    4: render_table4,
+    5: render_table5,
+    6: render_table6_from_study,
+}
+
+#: Seconds SQLite waits on a locked database before giving up (the
+#: service reads while an ingest writes; WAL keeps both moving).
+_BUSY_TIMEOUT = 30.0
+
+
+def snapshot_digest(data: Dict[str, Any]) -> str:
+    """Content digest of a study snapshot document (the ingest key).
+
+    Computed over the compact canonical JSON of the snapshot dict —
+    byte-equivalent studies (same counters, same insertion order)
+    digest equal no matter which file or machine they came from.
+    """
+    canonical = json.dumps(data, separators=(",", ":"), sort_keys=False)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _texts_of(study: CorpusStudy) -> List[Tuple[str, str, str]]:
+    """The query texts a study carries, as (dataset, kind, text) rows.
+
+    Snapshots do not retain the raw corpus (by design — studies are
+    aggregates), but two measurements keep verbatim query text: the
+    Table 5 non-Ctract sample and the streak accumulator's head/tail
+    texts.  Those are what ``/search`` indexes.
+    """
+    rows: List[Tuple[str, str, str]] = []
+    for text in study.non_ctract:
+        rows.append(("", "non_ctract", text))
+    for name, stats in study.datasets.items():
+        if stats.streaks is None:
+            continue
+        for text in stats.streaks.head:
+            rows.append((name, "streak_head", text))
+        for chain in stats.streaks.chains:
+            rows.append((name, "streak_tail", chain.tail))
+    return rows
+
+
+class StudyWarehouse:
+    """One open study-warehouse database file.
+
+    Construct via :meth:`open`; usable as a context manager.  All
+    methods raise :class:`~repro.exceptions.WarehouseError` on
+    warehouse-level problems — never a bare ``sqlite3`` error.
+    """
+
+    def __init__(self, connection: sqlite3.Connection, path: str, readonly: bool) -> None:
+        self._connection = connection
+        self.path = path
+        self.readonly = readonly
+        #: Parsed-study cache, keyed by the ingest generation.
+        self._study_cache: Optional[Tuple[int, CorpusStudy]] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls, path: Union[str, Path], *, readonly: bool = False
+    ) -> "StudyWarehouse":
+        """Open (and, writable, create/migrate) the warehouse at *path*.
+
+        Read-only handles require an existing, initialized warehouse.
+        Raises :class:`~repro.exceptions.WarehouseError` when the file
+        is not a study warehouse: corrupt, foreign, or written by a
+        newer schema than this build knows.
+        """
+        resolved = str(path)
+        try:
+            if readonly:
+                if not Path(resolved).exists():
+                    raise WarehouseError(f"{resolved}: no such warehouse")
+                uri = f"file:{Path(resolved).resolve().as_posix()}?mode=ro"
+                # The HTTP service shares one read-only handle across
+                # request threads, serialized by its own lock.
+                connection = sqlite3.connect(
+                    uri, uri=True, timeout=_BUSY_TIMEOUT, check_same_thread=False
+                )
+            else:
+                connection = sqlite3.connect(resolved, timeout=_BUSY_TIMEOUT)
+        except sqlite3.Error as error:
+            raise WarehouseError(f"{resolved}: cannot open ({error})") from error
+        try:
+            if not readonly:
+                connection.execute("PRAGMA journal_mode=WAL")
+                connection.execute("PRAGMA synchronous=NORMAL")
+            version = connection.execute("PRAGMA user_version").fetchone()[0]
+            has_tables = (
+                connection.execute(
+                    "SELECT name FROM sqlite_master"
+                    " WHERE type = 'table' AND name = 'meta'"
+                ).fetchone()
+                is not None
+            )
+            if version == 0 and not has_tables:
+                if (
+                    connection.execute(
+                        "SELECT name FROM sqlite_master WHERE type = 'table'"
+                    ).fetchone()
+                    is not None
+                ):
+                    raise WarehouseError(
+                        f"{resolved}: not a study warehouse "
+                        "(a foreign SQLite database)"
+                    )
+                if readonly:
+                    raise WarehouseError(f"{resolved}: warehouse is not initialized")
+            elif version > WAREHOUSE_SCHEMA_VERSION or not has_tables:
+                raise WarehouseError(
+                    f"{resolved}: unsupported warehouse schema {version} "
+                    f"(this build reads versions 1..{WAREHOUSE_SCHEMA_VERSION})"
+                )
+            if not readonly:
+                cls._migrate(connection, version)
+            kind_row = connection.execute(
+                "SELECT value FROM meta WHERE key = 'kind'"
+            ).fetchone()
+            if kind_row is None or kind_row[0] != WAREHOUSE_KIND:
+                raise WarehouseError(
+                    f"{resolved}: not a study warehouse "
+                    f"(kind {kind_row[0] if kind_row else None!r})"
+                )
+        except sqlite3.Error as error:
+            connection.close()
+            raise WarehouseError(
+                f"{resolved}: not a usable warehouse ({error})"
+            ) from error
+        except WarehouseError:
+            connection.close()
+            raise
+        return cls(connection, resolved, readonly)
+
+    @classmethod
+    def _migrate(cls, connection: sqlite3.Connection, version: int) -> None:
+        """Replay the migration suffix from *version* to current."""
+        for target, statements in enumerate(_MIGRATIONS[version:], start=version + 1):
+            with connection:
+                for statement in statements:
+                    connection.execute(statement)
+                connection.execute(f"PRAGMA user_version = {target}")
+        if version == 0:
+            with connection:
+                fts = "fts5"
+                try:
+                    connection.execute(
+                        "CREATE VIRTUAL TABLE query_fts USING fts5("
+                        "text, content='query_texts', content_rowid='id')"
+                    )
+                except sqlite3.OperationalError:  # pragma: no cover - no FTS5
+                    fts = "like"
+                connection.executemany(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                    [("kind", WAREHOUSE_KIND), ("generation", "0"), ("fts", fts)],
+                )
+
+    def close(self) -> None:
+        """Close the database handle (idempotent)."""
+        try:
+            self._connection.close()
+        except sqlite3.Error:  # pragma: no cover - close never fails in practice
+            pass
+
+    def __enter__(self) -> "StudyWarehouse":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- small helpers --------------------------------------------------
+
+    def _meta(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        row = self._connection.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return default if row is None else row[0]
+
+    @property
+    def generation(self) -> int:
+        """Number of state-changing ingests so far (cache key)."""
+        return int(self._meta("generation", "0"))
+
+    def _guard(self, error: sqlite3.Error) -> "WarehouseError":
+        return WarehouseError(f"{self.path}: warehouse query failed ({error})")
+
+    # -- ingest ---------------------------------------------------------
+
+    def ingest(self, study: CorpusStudy, *, source: str = "<memory>") -> str:
+        """Merge *study* into the warehouse; returns ``"merged"`` or
+        ``"unchanged"``.
+
+        The upsert is :meth:`CorpusStudy.merge`, so
+        ``ingest(a); ingest(b)`` leaves exactly the state of
+        ``ingest(merge(a, b))``, and re-ingesting a byte-equivalent
+        snapshot (same content digest) is a no-op — shard files can be
+        re-shipped safely.  Everything — ledger row, study document,
+        derived tables, FTS index — commits in one transaction;
+        incompatible studies (corpus flavour, streak parameters) raise
+        :class:`~repro.exceptions.WarehouseError` before anything is
+        written.
+        """
+        if self.readonly:
+            raise WarehouseError(f"{self.path}: warehouse opened read-only")
+        incoming = study_to_dict(study)
+        digest = snapshot_digest(incoming)
+        try:
+            known = self._connection.execute(
+                "SELECT 1 FROM ingests WHERE digest = ?", (digest,)
+            ).fetchone()
+        except sqlite3.Error as error:
+            raise self._guard(error) from error
+        if known is not None:
+            return "unchanged"
+        current = self.study()
+        # Merge a *copy* (dict round trip): CorpusStudy.merge mutates
+        # the left side, and the caller keeps ownership of `study`.
+        incoming_study = study_from_dict(incoming)
+        if current is None:
+            merged = incoming_study
+        else:
+            try:
+                merged = current.merge(incoming_study)
+            except ValueError as error:
+                raise WarehouseError(
+                    f"cannot ingest {source}: {error}"
+                ) from error
+        body = json.dumps(study_to_dict(merged), indent=2)
+        try:
+            with self._connection:
+                self._connection.execute(
+                    "INSERT INTO ingests (digest, source, datasets, queries)"
+                    " VALUES (?, ?, ?, ?)",
+                    (
+                        digest,
+                        source,
+                        json.dumps(list(study.datasets)),
+                        study.query_count,
+                    ),
+                )
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO study (id, body) VALUES (1, ?)", (body,)
+                )
+                self._rebuild_derived(merged)
+                self._connection.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'generation'",
+                    (str(self.generation + 1),),
+                )
+        except sqlite3.Error as error:
+            raise self._guard(error) from error
+        self._study_cache = None
+        return "merged"
+
+    def _rebuild_derived(self, study: CorpusStudy) -> None:
+        """Rebuild the indexed derived tables from *study* (caller holds
+        the transaction)."""
+        connection = self._connection
+        for table in ("datasets", "cells", "streaks", "caveats", "query_texts"):
+            connection.execute(f"DELETE FROM {table}")
+        connection.executemany(
+            "INSERT INTO datasets (name, total, valid, unique_queries,"
+            " analyzed, select_ask, triple_sum, streak_count, longest_streak)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [
+                (
+                    name,
+                    stats.total,
+                    stats.valid,
+                    stats.unique,
+                    stats.queries,
+                    stats.select_ask,
+                    stats.triple_sum,
+                    None if stats.streaks is None else stats.streaks.streak_count,
+                    None if stats.streaks is None else stats.streaks.longest,
+                )
+                for name, stats in study.datasets.items()
+            ],
+        )
+        connection.executemany(
+            "INSERT OR REPLACE INTO cells (section, row, col, value)"
+            " VALUES (?, ?, ?, ?)",
+            study_long_rows(study),
+        )
+        connection.executemany(
+            "INSERT INTO streaks (dataset, bucket, count) VALUES (?, ?, ?)",
+            [
+                (name, bucket, count)
+                for name, histogram in study.streak_histograms().items()
+                for bucket, count in histogram.items()
+            ],
+        )
+        connection.executemany(
+            "INSERT INTO caveats (name, dropped) VALUES (?, ?)",
+            [
+                ("shape_limit_skipped", study.shape_limit_skipped),
+                ("non_ctract_truncated", study.non_ctract_truncated),
+            ],
+        )
+        connection.executemany(
+            "INSERT OR IGNORE INTO query_texts (dataset, kind, text)"
+            " VALUES (?, ?, ?)",
+            _texts_of(study),
+        )
+        if self._meta("fts") == "fts5":
+            connection.execute(
+                "INSERT INTO query_fts(query_fts) VALUES ('rebuild')"
+            )
+
+    # -- the merged study -----------------------------------------------
+
+    def study(self) -> Optional[CorpusStudy]:
+        """The merged study, or ``None`` for an empty warehouse.
+
+        Parsed from the stored snapshot document and cached per ingest
+        generation, so repeated renders don't re-decode."""
+        generation = self.generation
+        if self._study_cache is not None and self._study_cache[0] == generation:
+            return self._study_cache[1]
+        try:
+            row = self._connection.execute(
+                "SELECT body FROM study WHERE id = 1"
+            ).fetchone()
+        except sqlite3.Error as error:
+            raise self._guard(error) from error
+        if row is None:
+            return None
+        try:
+            study = study_from_dict(json.loads(row[0]))
+        except (StudySnapshotError, json.JSONDecodeError) as error:
+            raise WarehouseError(
+                f"{self.path}: stored study document is unreadable ({error})"
+            ) from error
+        self._study_cache = (generation, study)
+        return study
+
+    def _require_study(self) -> CorpusStudy:
+        study = self.study()
+        if study is None:
+            raise WarehouseError(
+                f"{self.path}: warehouse is empty (nothing ingested yet)"
+            )
+        return study
+
+    def render(self, format: str = "text") -> str:
+        """The full report in *format*, through the reporter registry.
+
+        Byte-identical to ``repro report`` over the equivalently merged
+        snapshot — the warehouse stores exactly that snapshot."""
+        return render_report(self._require_study(), format)
+
+    def table_text(self, table: int) -> str:
+        """Table *table* (1–6) as its text-report block.
+
+        The block is a byte-exact slice of the full text report (same
+        renderer, same study)."""
+        renderer = _TABLE_RENDERERS.get(table)
+        if renderer is None:
+            raise WarehouseError(f"no such table {table} (the paper has tables 1-6)")
+        block = renderer(self._require_study())
+        if block is None:
+            raise WarehouseError(
+                "table 6 has no data: no ingested study ran the streaks metric"
+            )
+        return block
+
+    # -- indexed queries ------------------------------------------------
+
+    def datasets(
+        self, *, limit: int = 50, offset: int = 0
+    ) -> Tuple[int, List[Dict[str, Any]]]:
+        """Per-dataset pipeline counters, paginated (total, items)."""
+        try:
+            total = self._connection.execute(
+                "SELECT COUNT(*) FROM datasets"
+            ).fetchone()[0]
+            rows = self._connection.execute(
+                "SELECT name, total, valid, unique_queries, analyzed,"
+                " select_ask, triple_sum, streak_count, longest_streak"
+                " FROM datasets ORDER BY rowid LIMIT ? OFFSET ?",
+                (limit, offset),
+            ).fetchall()
+        except sqlite3.Error as error:
+            raise self._guard(error) from error
+        items = [
+            {
+                "name": name,
+                "total": total_q,
+                "valid": valid,
+                "unique": unique,
+                "analyzed": analyzed,
+                "select_ask": select_ask,
+                "triple_sum": triple_sum,
+                "streak_count": streak_count,
+                "longest_streak": longest_streak,
+            }
+            for (
+                name,
+                total_q,
+                valid,
+                unique,
+                analyzed,
+                select_ask,
+                triple_sum,
+                streak_count,
+                longest_streak,
+            ) in rows
+        ]
+        return total, items
+
+    def dataset(self, name: str) -> Optional[Dict[str, Any]]:
+        """One dataset's row, or ``None`` when unknown."""
+        _, items = self.datasets(limit=1_000_000, offset=0)
+        for item in items:
+            if item["name"] == name:
+                return item
+        return None
+
+    def table_cells(
+        self,
+        table: int,
+        *,
+        dataset: Optional[str] = None,
+        limit: int = 50,
+        offset: int = 0,
+    ) -> Tuple[int, List[Dict[str, str]]]:
+        """Table *table*'s measurement cells, paginated (total, items).
+
+        Tables 1 and 6 are per-dataset and can be scoped with
+        *dataset*; tables 2–5 are corpus-wide (the scope is ignored
+        beyond validating the dataset exists — callers do that)."""
+        sections = TABLE_SECTIONS.get(table)
+        if sections is None:
+            raise WarehouseError(f"no such table {table} (the paper has tables 1-6)")
+        where = f"section IN ({', '.join('?' for _ in sections)})"
+        arguments: List[Any] = list(sections)
+        if dataset is not None and table == 1:
+            where += " AND row = ?"
+            arguments.append(dataset)
+        elif dataset is not None and table == 6:
+            where += " AND col = ?"
+            arguments.append(dataset)
+        try:
+            total = self._connection.execute(
+                f"SELECT COUNT(*) FROM cells WHERE {where}", arguments
+            ).fetchone()[0]
+            rows = self._connection.execute(
+                f"SELECT section, row, col, value FROM cells WHERE {where}"
+                " ORDER BY section, row, col LIMIT ? OFFSET ?",
+                [*arguments, limit, offset],
+            ).fetchall()
+        except sqlite3.Error as error:
+            raise self._guard(error) from error
+        items = [
+            {"section": section, "row": row, "column": col, "value": value}
+            for section, row, col, value in rows
+        ]
+        return total, items
+
+    def section_cells(
+        self, section: str, *, limit: int = 50, offset: int = 0
+    ) -> Tuple[int, List[Dict[str, str]]]:
+        """All cells of one long-format *section* (e.g. ``figure1``)."""
+        try:
+            total = self._connection.execute(
+                "SELECT COUNT(*) FROM cells WHERE section = ?", (section,)
+            ).fetchone()[0]
+            rows = self._connection.execute(
+                "SELECT section, row, col, value FROM cells WHERE section = ?"
+                " ORDER BY row, col LIMIT ? OFFSET ?",
+                (section, limit, offset),
+            ).fetchall()
+        except sqlite3.Error as error:
+            raise self._guard(error) from error
+        items = [
+            {"section": sec, "row": row, "column": col, "value": value}
+            for sec, row, col, value in rows
+        ]
+        return total, items
+
+    def streak_histograms(
+        self, *, limit: int = 50, offset: int = 0
+    ) -> Tuple[int, List[Dict[str, Any]]]:
+        """Per-dataset streak digests, paginated (total, items)."""
+        try:
+            total = self._connection.execute(
+                "SELECT COUNT(*) FROM datasets WHERE streak_count IS NOT NULL"
+            ).fetchone()[0]
+            names = self._connection.execute(
+                "SELECT name, streak_count, longest_streak FROM datasets"
+                " WHERE streak_count IS NOT NULL"
+                " ORDER BY rowid LIMIT ? OFFSET ?",
+                (limit, offset),
+            ).fetchall()
+            items = []
+            for name, count, longest in names:
+                histogram = {
+                    bucket: bucket_count
+                    for bucket, bucket_count in self._connection.execute(
+                        "SELECT bucket, count FROM streaks WHERE dataset = ?"
+                        " ORDER BY rowid",
+                        (name,),
+                    )
+                }
+                items.append(
+                    {
+                        "dataset": name,
+                        "streak_count": count,
+                        "longest": longest,
+                        "histogram": histogram,
+                    }
+                )
+        except sqlite3.Error as error:
+            raise self._guard(error) from error
+        return total, items
+
+    def caveats(self) -> Dict[str, int]:
+        """Coverage-caveat counters (both zero on clean corpora)."""
+        try:
+            rows = self._connection.execute(
+                "SELECT name, dropped FROM caveats ORDER BY name"
+            ).fetchall()
+        except sqlite3.Error as error:
+            raise self._guard(error) from error
+        return {name: dropped for name, dropped in rows}
+
+    def search(
+        self, query: str, *, limit: int = 50, offset: int = 0
+    ) -> Tuple[int, List[Dict[str, str]]]:
+        """Full-text search over the indexed query texts.
+
+        Uses FTS5 ``MATCH`` (phrase/boolean syntax supported) when the
+        warehouse was built with FTS5, a plain substring scan
+        otherwise.  A syntactically invalid FTS expression raises
+        :class:`~repro.exceptions.WarehouseError`."""
+        if not query.strip():
+            raise WarehouseError("empty search query")
+        if self._meta("fts") == "fts5":
+            try:
+                total = self._connection.execute(
+                    "SELECT COUNT(*) FROM query_fts WHERE query_fts MATCH ?",
+                    (query,),
+                ).fetchone()[0]
+                rows = self._connection.execute(
+                    "SELECT q.dataset, q.kind, q.text"
+                    " FROM query_fts f JOIN query_texts q ON q.id = f.rowid"
+                    " WHERE query_fts MATCH ? ORDER BY rank, q.id"
+                    " LIMIT ? OFFSET ?",
+                    (query, limit, offset),
+                ).fetchall()
+            except sqlite3.OperationalError as error:
+                raise WarehouseError(
+                    f"invalid search query {query!r} ({error})"
+                ) from error
+            except sqlite3.Error as error:
+                raise self._guard(error) from error
+        else:  # pragma: no cover - builds without FTS5
+            escaped = (
+                query.replace("\\", "\\\\").replace("%", "\\%").replace("_", "\\_")
+            )
+            pattern = f"%{escaped}%"
+            try:
+                total = self._connection.execute(
+                    "SELECT COUNT(*) FROM query_texts"
+                    " WHERE text LIKE ? ESCAPE '\\'",
+                    (pattern,),
+                ).fetchone()[0]
+                rows = self._connection.execute(
+                    "SELECT dataset, kind, text FROM query_texts"
+                    " WHERE text LIKE ? ESCAPE '\\' ORDER BY id"
+                    " LIMIT ? OFFSET ?",
+                    (pattern, limit, offset),
+                ).fetchall()
+            except sqlite3.Error as error:
+                raise self._guard(error) from error
+        items = [
+            {"dataset": dataset, "kind": kind, "text": text}
+            for dataset, kind, text in rows
+        ]
+        return total, items
+
+    # -- introspection --------------------------------------------------
+
+    def ingest_log(self) -> List[Dict[str, Any]]:
+        """The append ledger: every distinct snapshot ever merged."""
+        try:
+            rows = self._connection.execute(
+                "SELECT seq, digest, source, datasets, queries"
+                " FROM ingests ORDER BY seq"
+            ).fetchall()
+        except sqlite3.Error as error:
+            raise self._guard(error) from error
+        return [
+            {
+                "seq": seq,
+                "digest": digest,
+                "source": source,
+                "datasets": json.loads(datasets),
+                "queries": queries,
+            }
+            for seq, digest, source, datasets, queries in rows
+        ]
+
+    def stats(self) -> Dict[str, Any]:
+        """Warehouse-level facts for ``repro warehouse stats``."""
+        try:
+            counts = {
+                table: self._connection.execute(
+                    f"SELECT COUNT(*) FROM {table}"
+                ).fetchone()[0]
+                for table in ("ingests", "datasets", "cells", "query_texts")
+            }
+        except sqlite3.Error as error:
+            raise self._guard(error) from error
+        study = self.study()
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:  # pragma: no cover - file vanished mid-run
+            size = 0
+        return {
+            "path": self.path,
+            "warehouse_schema": WAREHOUSE_SCHEMA_VERSION,
+            "generation": self.generation,
+            "fts": self._meta("fts", "like"),
+            "corpus": (
+                None if study is None else ("Unique" if study.dedup else "Valid")
+            ),
+            "ingests": counts["ingests"],
+            "datasets": counts["datasets"],
+            "cells": counts["cells"],
+            "query_texts": counts["query_texts"],
+            "size_bytes": size,
+        }

@@ -439,17 +439,53 @@ class TestSnapshotErrorPaths:
         assert main(["report", str(snapshot), "--format", "yaml"]) == 2
         err = capsys.readouterr().err
         assert "unknown report format" in err
+        # The message lists what IS available, so the fix is self-evident.
+        assert "available:" in err
+        assert "text" in err and "json" in err
         assert "text" in err  # the message lists what IS available
 
     def test_analyze_unknown_format(self, tmp_path, capsys):
         source = tmp_path / "q.rq"
         source.write_text("ASK { ?s ?p ?o }\n")
         assert main(["analyze", str(source), "--format", "yaml"]) == 2
-        assert "unknown report format" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown report format" in err
+        assert "available:" in err
 
     def test_merge_missing_file(self, snapshot, tmp_path, capsys):
         assert main(["merge", str(snapshot), str(tmp_path / "gone.json")]) == 2
         assert "merge:" in capsys.readouterr().err
+
+    def test_merge_schema_mismatch_names_offending_file(
+        self, snapshot, tmp_path, capsys
+    ):
+        # With a dozen shards on the command line, "schema version 99"
+        # alone is not actionable: the message must name the file.
+        data = json.loads(snapshot.read_text())
+        data["schema"] = 99
+        future = tmp_path / "future-shard.json"
+        future.write_text(json.dumps(data))
+        assert main(["merge", str(snapshot), str(future)]) == 2
+        err = capsys.readouterr().err
+        assert "future-shard.json" in err
+        assert "schema version 99" in err
+        assert "Traceback" not in err
+
+    def test_merge_parameter_clash_names_offending_file(
+        self, tmp_path, capsys
+    ):
+        source = tmp_path / "q.rq"
+        source.write_text("ASK { ?s ?p ?o }\n" * 3)
+        narrow = tmp_path / "narrow.json"
+        wide = tmp_path / "wide-window.json"
+        base = ["analyze", str(source), "--metrics", "streaks"]
+        assert main(base + ["--streak-window", "5", "--save-study", str(narrow)]) == 0
+        assert main(base + ["--streak-window", "9", "--save-study", str(wide)]) == 0
+        capsys.readouterr()
+        assert main(["merge", str(narrow), str(wide)]) == 2
+        err = capsys.readouterr().err
+        assert "wide-window.json" in err
+        assert "Traceback" not in err
 
     def test_merge_rejects_mixed_corpus_flavours(self, tmp_path, capsys):
         source = tmp_path / "q.rq"

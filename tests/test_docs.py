@@ -92,6 +92,18 @@ def test_python_blocks_import_real_api(path, code):
                     importlib.import_module(alias.name)
 
 
+def _parser_flags(parser):
+    """All option strings of *parser*, including nested subcommands
+    (``repro warehouse ingest|query|stats`` nests one level)."""
+    flags = set()
+    for action in parser._actions:
+        flags.update(action.option_strings)
+        if isinstance(action, argparse._SubParsersAction):
+            for subparser in action.choices.values():
+                flags.update(_parser_flags(subparser))
+    return flags
+
+
 def _cli_vocabulary():
     parser = _build_parser()
     root_flags = {
@@ -101,11 +113,7 @@ def _cli_vocabulary():
     for action in parser._actions:
         if isinstance(action, argparse._SubParsersAction):
             for verb, subparser in action.choices.items():
-                verbs[verb] = {
-                    option
-                    for sub_action in subparser._actions
-                    for option in sub_action.option_strings
-                }
+                verbs[verb] = _parser_flags(subparser)
     return root_flags, verbs
 
 

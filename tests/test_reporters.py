@@ -50,6 +50,17 @@ class TestRegistry:
         with pytest.raises(ValueError, match="already registered"):
             register_reporter(reporters_module.TextReporter())
 
+    def test_duplicate_registration_error_is_typed(self):
+        # The collision error is part of the library hierarchy (so
+        # `except ReproError` pipelines catch it) while remaining a
+        # ValueError for pre-typed callers.
+        from repro.exceptions import ReporterRegistrationError, ReproError
+
+        with pytest.raises(ReporterRegistrationError, match="'text'"):
+            register_reporter(reporters_module.TextReporter())
+        assert issubclass(ReporterRegistrationError, ReproError)
+        assert issubclass(ReporterRegistrationError, ValueError)
+
     def test_custom_reporter_plugs_in(self, study):
         class TallyReporter:
             name = "tally"

@@ -269,3 +269,71 @@ def test_merge_of_snapshots_property(tmp_path_factory, first, second, dedup):
     from_disk = merge_studies([load_study(a), load_study(b)])
     assert from_disk == in_memory
     assert render_report(from_disk, "text") == render_report(in_memory, "text")
+
+
+# ---------------------------------------------------------------------------
+# Gzip snapshots: a .gz suffix compresses on write; reads go by the
+# gzip magic bytes, not the file name.
+# ---------------------------------------------------------------------------
+
+
+class TestGzipSnapshots:
+    def test_round_trip(self, sample_study, tmp_path):
+        path = tmp_path / "study.json.gz"
+        save_study(sample_study, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        reloaded = load_study(path)
+        assert reloaded == sample_study
+        assert render_report(reloaded, "text") == render_report(
+            sample_study, "text"
+        )
+
+    def test_gzip_smaller_than_plain(self, sample_study, tmp_path):
+        plain = tmp_path / "study.json"
+        packed = tmp_path / "study.json.gz"
+        save_study(sample_study, plain)
+        save_study(sample_study, packed)
+        assert packed.stat().st_size < plain.stat().st_size
+
+    def test_gzip_write_is_deterministic(self, sample_study, tmp_path):
+        # mtime is pinned to 0, so identical studies produce identical
+        # bytes — snapshot files stay content-addressable.
+        first = tmp_path / "a.json.gz"
+        second = tmp_path / "b.json.gz"
+        save_study(sample_study, first)
+        save_study(sample_study, second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_load_detects_gzip_regardless_of_suffix(self, sample_study, tmp_path):
+        import gzip as gzip_module
+
+        packed = tmp_path / "study.json.gz"
+        save_study(sample_study, packed)
+        renamed = tmp_path / "study.json"
+        renamed.write_bytes(packed.read_bytes())
+        assert load_study(renamed) == sample_study
+        # And the reverse: plain JSON under a .gz name still loads.
+        plain = tmp_path / "plain.json"
+        plain.write_text(
+            gzip_module.decompress(packed.read_bytes()).decode("utf-8")
+        )
+        assert load_study(plain) == sample_study
+
+    def test_truncated_gzip_is_snapshot_error(self, sample_study, tmp_path):
+        path = tmp_path / "study.json.gz"
+        save_study(sample_study, path)
+        path.write_bytes(path.read_bytes()[:-20])
+        with pytest.raises(StudySnapshotError, match="gzip"):
+            load_study(path)
+
+    def test_cli_save_study_gz_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        source = tmp_path / "q.rq"
+        source.write_text("\n".join(QUERY_POOL[:5]) + "\n")
+        packed = tmp_path / "study.json.gz"
+        assert main(["analyze", str(source), "--save-study", str(packed)]) == 0
+        direct = capsys.readouterr().out
+        assert packed.read_bytes()[:2] == b"\x1f\x8b"
+        assert main(["report", str(packed)]) == 0
+        assert capsys.readouterr().out == direct
