@@ -1,0 +1,107 @@
+"""Watch mode: incremental cycle cost vs full re-analysis.
+
+Builds a deterministic single-day log, checkpoints most of it once,
+then times a series of small watch cycles — each with a *fresh*
+``WatchSession`` so resume (cursor verification, checkpoint load) and
+the atomic checkpoint write are inside the measured window.  A final
+one-shot ``analyze_corpora`` over the complete log is timed for
+comparison.  Writes ``BENCH_watch.json`` (path overridable via
+``REPRO_BENCH_WATCH_JSON``) with both timings, the speedup, and the
+byte-identity verdict between the checkpointed study and the one-shot
+study (invariant 12).  The CI bench-smoke job uploads the file and
+asserts the speedup floor, so a watch cycle that silently degrades to
+re-analysing the whole log fails the build.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from _bench_utils import banner
+from repro.api import WatchSession, analyze_corpora, load_study
+from repro.workload import generate_day_log
+
+ENTRIES = int(os.environ.get("REPRO_BENCH_WATCH_ENTRIES", "2400"))
+CYCLES = 8
+SLICE = 24
+SPEEDUP_FLOOR = 3.0
+
+
+def _append(path: Path, texts) -> None:
+    with path.open("a", encoding="utf-8") as handle:
+        for text in texts:
+            handle.write(text.replace("\n", "\\n") + "\n")
+
+
+def _study_bytes(study) -> str:
+    return json.dumps(study.to_dict(), sort_keys=True)
+
+
+def test_watch_artifact(tmp_path):
+    texts = generate_day_log(n_queries=ENTRIES, seed=7)
+    base = len(texts) - CYCLES * SLICE
+    assert base > 0, "bench log too small for the cycle schedule"
+    log = tmp_path / "day.log"
+    state = tmp_path / "watch-state"
+
+    # Seed the checkpoint with the bulk of the log; this first fold is
+    # the expensive one and stays outside the measured cycles.
+    _append(log, texts[:base])
+    WatchSession([str(log)], state).cycle()
+
+    cycle_seconds = []
+    for index in range(CYCLES):
+        start_entry = base + index * SLICE
+        _append(log, texts[start_entry : start_entry + SLICE])
+        start = time.perf_counter()
+        outcome = WatchSession([str(log)], state).cycle(
+            drain=index == CYCLES - 1
+        )
+        cycle_seconds.append(time.perf_counter() - start)
+        assert outcome.total_new == SLICE
+
+    start = time.perf_counter()
+    reference = analyze_corpora({"day": texts}).study
+    one_shot_seconds = time.perf_counter() - start
+
+    checkpointed = load_study(state / "study.json")
+    identical = _study_bytes(checkpointed) == _study_bytes(reference)
+    mean_cycle = sum(cycle_seconds) / len(cycle_seconds)
+    speedup = one_shot_seconds / mean_cycle
+
+    payload = {
+        "watch": {
+            "entries": len(texts),
+            "cycles": CYCLES,
+            "entries_per_cycle": SLICE,
+            "one_shot_seconds": round(one_shot_seconds, 6),
+            "mean_cycle_seconds": round(mean_cycle, 6),
+            "max_cycle_seconds": round(max(cycle_seconds), 6),
+            "speedup": round(speedup, 2),
+            "identical_study": identical,
+        }
+    }
+    out_path = Path(os.environ.get("REPRO_BENCH_WATCH_JSON", "BENCH_watch.json"))
+    # Merge key-wise, same contract as the other bench artifacts.
+    if out_path.exists():
+        merged = json.loads(out_path.read_text(encoding="utf-8"))
+        merged.update(payload)
+        payload = merged
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    banner("Watch mode: incremental cycle vs full re-analysis")
+    print(
+        f"  one-shot: {len(texts):,} entries in {one_shot_seconds:8.4f}s; "
+        f"cycle: {SLICE} entries in {mean_cycle:8.4f}s mean "
+        f"(max {max(cycle_seconds):8.4f}s)"
+    )
+    print(f"  speedup: {speedup:,.1f}x; identical study: {identical}")
+
+    assert identical, "checkpointed study must match one-shot analysis"
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"incremental cycle only {speedup:.1f}x faster than re-analysis "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )

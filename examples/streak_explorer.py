@@ -41,12 +41,12 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     accumulator = result.study.datasets["day-log"].streaks
     print("(paper's longest at w=30 was 169)")
     if accumulator.chains:
-        # The accumulator keeps full member positions only for streaks
-        # still relevant at the stream boundaries (that bound is what
-        # makes it mergeable); peek into the longest retained one.
+        # The accumulator keeps lean chain records (founder, span, and
+        # only head-region member positions — that bound is what makes
+        # it mergeable); peek into the longest retained one.
         retained = max(accumulator.chains, key=lambda chain: chain.length)
         print(f"A retained {retained.length}-member streak's first members:")
-        for index in retained.positions[:3]:
+        for index in retained.head_positions[:3] or [retained.start]:
             first_line = log[index].splitlines()[0]
             print(f"  [{index}] {first_line[:70]}")
 

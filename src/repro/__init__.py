@@ -60,6 +60,8 @@ from .api import (
     AnalysisResult,
     AnalysisSession,
     CoverageCaveats,
+    WatchCycle,
+    WatchSession,
     analyze,
     analyze_corpora,
     load_study,
@@ -77,6 +79,7 @@ from .exceptions import (
     SparqlSyntaxError,
     StudySnapshotError,
     WarehouseError,
+    WatchStateError,
     WorkloadError,
 )
 from .logs import LogShard, ParseCache, QueryLog, build_query_log, process_entries
@@ -98,13 +101,16 @@ from .workload import (
     generate_workload,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AnalysisRequest",
     "AnalysisResult",
     "AnalysisSession",
     "CoverageCaveats",
+    "WatchCycle",
+    "WatchSession",
+    "WatchStateError",
     "analyze",
     "analyze_corpora",
     "load_study",

@@ -1,0 +1,607 @@
+"""Incremental always-on analysis: the engine behind ``repro watch``.
+
+The batch pipeline answers "what does this log say"; this module
+answers it *continuously*: tail growing log files (or directories of
+them), feed only the new suffix through the existing pass pipeline,
+and fold the result into a running :class:`CorpusStudy` checkpoint —
+exploiting the fact that every accumulator in the system already
+merges in stream order.
+
+Three pieces make the fold exact (invariant 12 in
+``docs/ARCHITECTURE.md``: the checkpointed study is byte-identical to
+a one-shot ``repro analyze`` of the full log, for *any* split into
+watch cycles):
+
+* **Resumable source cursors.**  Each tailed file carries a logical
+  byte offset (raw bytes for plain files, decompressed bytes for gzip
+  — recognized by magic, and readable across appended gzip members)
+  plus a SHA-256 fingerprint of the consumed prefix.  Every cycle
+  re-verifies the fingerprint while skipping the prefix, so a
+  truncated, rotated, or rewritten source raises
+  :class:`~repro.exceptions.WatchStateError` instead of silently
+  double-counting history.  Cycles advance only past *complete* entry
+  boundaries (the last newline; for block format, the last blank
+  line), so a writer flushing mid-entry never splits one; ``drain``
+  consumes the unterminated tail on a final cycle.
+* **Cross-cycle deduplication.**  Table 1's Unique column and every
+  main-body measurement run over first occurrences.  The checkpoint
+  carries the SHA-256 digests of all unique texts seen, so each cycle
+  measures exactly the queries whose first occurrence falls in its
+  slice — concatenated across cycles, that is precisely the one-shot
+  unique stream, in order.
+* **Streak resume tokens.**  The per-dataset
+  :class:`~repro.analysis.streaks.StreakAccumulator` snapshots with
+  the study; its open-chain records (lean: O(window) per chain,
+  however long the streak) are the resume state, and each cycle's
+  slice accumulator stitches on via the same merge the sharded scan
+  uses.
+
+The checkpoint keeps one cumulative study *per dataset* and derives
+the combined study by merging them in input order — the same stitch
+the sharded drivers use — so datasets growing in interleaved cycles
+still report with exactly the one-shot counter order (one-shot runs
+fold each dataset to completion before the next).
+
+Durability: cursors, seen-digests, and the per-dataset study snapshots
+are one JSON *checkpoint* document written with a single atomic
+replace — a crashed or SIGKILLed cycle leaves either the previous
+checkpoint or the new one, never a torn cursor/study pair, so
+resuming re-reads at most one suffix (``tests/test_watch.py``
+kill-tests this).  A convenience copy of the combined study is kept
+next to it for ``repro report`` / ``repro merge``; it is derived
+state, rewritten every cycle.
+
+Limits, by design: watch analyses the Unique corpus (``dedup=True``)
+only; the entry format of a file is detected once, at its first
+non-empty cycle, and pinned; and directory sources assume files grow
+append-only in sorted name order (the one-shot concatenation order).
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    BinaryIO,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..exceptions import StudySnapshotError, WatchStateError
+from ..ioutils import atomic_write_text
+from ..logs.pipeline import ParsedQuery, QueryLog
+from ..logs.sources import (
+    _GZIP_MAGIC,
+    _PARSERS,
+    DETECT_LINES,
+    dataset_name,
+    detect_format,
+    source_paths,
+)
+from .context import AnalysisOptions
+from .parallel import build_query_logs_parallel
+from .passes import resolve_passes, run_passes, sequence_only_selection
+from .snapshot import save_study, study_from_dict, study_to_dict
+from .structure_store import StoreBackedStructureCache, open_structure_cache
+from .study import CorpusStudy, DatasetStats, _claim_streaks
+
+__all__ = [
+    "CHECKPOINT_KIND",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "WatchCycle",
+    "WatchSession",
+]
+
+#: ``kind`` header of a watch checkpoint document.
+CHECKPOINT_KIND = "repro.watch_checkpoint"
+
+#: Version of the checkpoint layout (the embedded study dicts carry
+#: their own snapshot schema version and migrate independently, so a
+#: checkpoint written before a snapshot schema bump keeps loading).
+CHECKPOINT_SCHEMA_VERSION = 1
+
+#: File names inside a watch state directory.
+CHECKPOINT_NAME = "checkpoint.json"
+STUDY_NAME = "study.json"
+
+_READ_CHUNK = 1 << 20
+
+
+def _text_digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _open_logical(path: Path) -> BinaryIO:
+    """Open *path* as its logical byte stream (decompressing gzip).
+
+    Compression is recognized by magic bytes, like
+    :func:`repro.logs.sources.open_text`; gzip offsets therefore count
+    *decompressed* bytes, which stay stable when members are appended
+    (``gzip`` reads concatenated members as one stream).
+    """
+    with path.open("rb") as probe:
+        magic = probe.read(len(_GZIP_MAGIC))
+    if magic == _GZIP_MAGIC:
+        return gzip.open(path, "rb")
+    return path.open("rb")
+
+
+def _consumable_length(data: bytes, format: str, drain: bool) -> int:
+    """Length of the longest prefix of *data* ending at an entry boundary.
+
+    Line formats cut after the last newline; block format cuts after
+    the last blank separator line, so a block still being written is
+    never split.  ``drain`` consumes everything — only correct when
+    the writer has finished (the final scheduled cycle).
+    """
+    if drain:
+        return len(data)
+    if format == "blocks":
+        cut = position = 0
+        while True:
+            newline = data.find(b"\n", position)
+            if newline < 0:
+                return cut
+            if not data[position:newline].strip():
+                cut = newline + 1
+            position = newline + 1
+    cut = data.rfind(b"\n")
+    return 0 if cut < 0 else cut + 1
+
+
+def _region_lines(data: bytes) -> List[str]:
+    """Decode a consumed region exactly as :func:`open_text` would.
+
+    Same wrapper class, same encoding, same ``errors="replace"``, same
+    universal-newline translation — and regions always split right
+    after ``\\n``, which no UTF-8 multi-byte sequence or ``\\r\\n``
+    pair can straddle, so region-wise decoding equals whole-file
+    decoding.
+    """
+    wrapper = io.TextIOWrapper(
+        io.BytesIO(data), encoding="utf-8", errors="replace"
+    )
+    return [line.rstrip("\n") for line in wrapper]
+
+
+@dataclass
+class _SourceCursor:
+    """Resume state of one tailed file."""
+
+    path: str
+    format: Optional[str] = None  # pinned at the first non-empty read
+    offset: int = 0  # consumed logical bytes
+    fingerprint: str = ""  # sha256 of the consumed logical prefix
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "format": self.format,
+            "offset": self.offset,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any, where: str) -> "_SourceCursor":
+        if not isinstance(data, dict):
+            raise WatchStateError(f"{where}: malformed cursor {data!r}")
+        path = data.get("path")
+        format = data.get("format")
+        offset = data.get("offset")
+        fingerprint = data.get("fingerprint")
+        if (
+            not isinstance(path, str)
+            or (format is not None and format not in _PARSERS)
+            or not isinstance(offset, int)
+            or isinstance(offset, bool)
+            or offset < 0
+            or not isinstance(fingerprint, str)
+        ):
+            raise WatchStateError(f"{where}: malformed cursor {data!r}")
+        return cls(
+            path=path, format=format, offset=offset, fingerprint=fingerprint
+        )
+
+    def read_new_entries(self, drain: bool) -> List[str]:
+        """Verify the consumed prefix, consume complete new entries.
+
+        Advances ``offset``/``fingerprint`` past the consumed region
+        and returns its raw query texts (empty when nothing complete is
+        new).  Raises :class:`WatchStateError` when the on-disk prefix
+        no longer matches what the study already folded in.
+        """
+        path = Path(self.path)
+        hasher = hashlib.sha256()
+        try:
+            stream = _open_logical(path)
+        except OSError as error:
+            raise WatchStateError(
+                f"watched source {self.path}: unreadable ({error})"
+            ) from error
+        with stream:
+            remaining = self.offset
+            while remaining:
+                chunk = stream.read(min(_READ_CHUNK, remaining))
+                if not chunk:
+                    raise WatchStateError(
+                        f"watched source {self.path}: shrank below the "
+                        f"{self.offset}-byte cursor (truncated or rotated)"
+                    )
+                hasher.update(chunk)
+                remaining -= len(chunk)
+            if self.offset and hasher.hexdigest() != self.fingerprint:
+                raise WatchStateError(
+                    f"watched source {self.path}: consumed prefix was "
+                    "rewritten behind the cursor (rotated or edited)"
+                )
+            data = stream.read()
+        if not data:
+            return []
+        if self.format is None:
+            # First sight of data: detect like the one-shot reader and
+            # pin.  (One-shot detection sees the whole file's peek
+            # window at once; appends that would flip the verdict are
+            # out of contract — see the module docstring.)
+            self.format = detect_format(_region_lines(data)[:DETECT_LINES])
+        consumable = _consumable_length(data, self.format, drain)
+        if not consumable:
+            return []
+        region = data[:consumable]
+        hasher.update(region)
+        self.offset += consumable
+        self.fingerprint = hasher.hexdigest()
+        return list(_PARSERS[self.format](iter(_region_lines(region))))
+
+
+@dataclass
+class WatchCycle:
+    """What one :meth:`WatchSession.cycle` call did."""
+
+    generation: int
+    new_entries: Dict[str, int] = field(default_factory=dict)
+    changed: bool = False
+    diff: str = ""
+
+    @property
+    def total_new(self) -> int:
+        return sum(self.new_entries.values())
+
+
+class WatchSession:
+    """A resumable incremental-analysis session over growing logs.
+
+    Construct with the input paths (files or directories, one dataset
+    each — the same inputs ``repro analyze`` takes) and a *state
+    directory*; every :meth:`cycle` call ingests whatever the sources
+    grew by, folds it into the running study, and atomically rewrites
+    the checkpoint.  Killing the process at any point loses at most
+    the in-flight cycle: a new session over the same state directory
+    resumes from the last durable checkpoint and converges to the same
+    bytes (``tests/test_watch.py``).
+
+    The analysis configuration (metrics, streak parameters, shape
+    limit, extra prefixes) is fixed at the first checkpoint; resuming
+    with different options raises
+    :class:`~repro.exceptions.WatchStateError` rather than mixing
+    incompatible measurements into one study.
+    """
+
+    def __init__(
+        self,
+        inputs: Sequence[Union[str, Path]],
+        state_dir: Union[str, Path],
+        *,
+        metrics: Optional[Sequence[str]] = None,
+        streak_window: Optional[int] = None,
+        streak_threshold: Optional[float] = None,
+        shape_node_limit: Optional[int] = None,
+        extra_prefixes: Optional[Mapping[str, str]] = None,
+        warehouse_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if not inputs:
+            raise ValueError("watch needs at least one input file or directory")
+        self.inputs: Tuple[str, ...] = tuple(str(path) for path in inputs)
+        names = [dataset_name(path) for path in self.inputs]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise ValueError(
+                f"duplicate dataset name(s) {sorted(duplicates)}; "
+                "rename the inputs"
+            )
+        self._datasets: Tuple[Tuple[str, str], ...] = tuple(
+            zip(names, self.inputs)
+        )
+        self.state_dir = Path(state_dir)
+        self.checkpoint_path = self.state_dir / CHECKPOINT_NAME
+        self.study_path = self.state_dir / STUDY_NAME
+        self.warehouse_path = (
+            None if warehouse_path is None else Path(warehouse_path)
+        )
+        defaults = AnalysisOptions()
+        self.options = AnalysisOptions(
+            metrics=None if metrics is None else tuple(metrics),
+            shape_node_limit=(
+                defaults.shape_node_limit
+                if shape_node_limit is None
+                else shape_node_limit
+            ),
+            streak_window=(
+                defaults.streak_window
+                if streak_window is None
+                else streak_window
+            ),
+            streak_threshold=(
+                defaults.streak_threshold
+                if streak_threshold is None
+                else streak_threshold
+            ),
+            lean_ingestion=sequence_only_selection(metrics),
+        )
+        resolve_passes(self.options.metrics)  # reject unknown metrics now
+        self.extra_prefixes = (
+            None if extra_prefixes is None else dict(extra_prefixes)
+        )
+        self.generation = 0
+        self._studies: Dict[str, CorpusStudy] = {}
+        self._cursors: Dict[str, _SourceCursor] = {}
+        self._seen: Dict[str, set] = {}
+        if self.checkpoint_path.exists():
+            self._load_checkpoint()
+
+    @property
+    def study(self) -> Optional[CorpusStudy]:
+        """The checkpointed study so far (``None`` before any cycle).
+
+        Derived by stitching the per-dataset studies in input order —
+        exactly how a one-shot run over the full sources would fold
+        them, so counter key order (and hence snapshot bytes) match.
+        """
+        if not self._studies:
+            return None
+        combined = CorpusStudy(dedup=True)
+        for name, _ in self._datasets:
+            combined.merge(self._studies[name])
+        return combined
+
+    # -- configuration identity -------------------------------------
+
+    def _config_dict(self) -> Dict[str, Any]:
+        options = self.options
+        return {
+            "metrics": (
+                None if options.metrics is None else list(options.metrics)
+            ),
+            "streak_window": options.streak_window,
+            "streak_threshold": options.streak_threshold,
+            "shape_node_limit": options.shape_node_limit,
+            "extra_prefixes": self.extra_prefixes,
+            "lean": options.lean_ingestion,
+        }
+
+    # -- checkpoint I/O ---------------------------------------------
+
+    def _load_checkpoint(self) -> None:
+        where = str(self.checkpoint_path)
+        try:
+            data = json.loads(self.checkpoint_path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise WatchStateError(
+                f"{where}: unreadable checkpoint ({error})"
+            ) from error
+        if not isinstance(data, dict) or data.get("kind") != CHECKPOINT_KIND:
+            raise WatchStateError(f"{where}: not a watch checkpoint")
+        if data.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+            raise WatchStateError(
+                f"{where}: checkpoint schema {data.get('schema')!r} is not "
+                f"{CHECKPOINT_SCHEMA_VERSION} (written by another version?)"
+            )
+        if tuple(data.get("inputs", ())) != self.inputs:
+            raise WatchStateError(
+                f"{where}: checkpoint watches inputs {data.get('inputs')!r}, "
+                f"session asks for {list(self.inputs)!r}"
+            )
+        config = data.get("config")
+        if config != self._config_dict():
+            raise WatchStateError(
+                f"{where}: checkpoint was written under options {config!r}; "
+                f"this session asks for {self._config_dict()!r} — one study "
+                "cannot mix them"
+            )
+        generation = data.get("generation")
+        if not isinstance(generation, int) or isinstance(generation, bool):
+            raise WatchStateError(f"{where}: malformed generation")
+        cursors = data.get("cursors")
+        if not isinstance(cursors, list):
+            raise WatchStateError(f"{where}: malformed cursors")
+        known = {name for name, _ in self._datasets}
+        seen = data.get("seen")
+        if not isinstance(seen, dict) or not set(seen) <= known:
+            raise WatchStateError(f"{where}: malformed seen-digest map")
+        for digests in seen.values():
+            if not isinstance(digests, list) or not all(
+                isinstance(digest, str) for digest in digests
+            ):
+                raise WatchStateError(f"{where}: malformed seen-digest map")
+        studies = data.get("studies")
+        if not isinstance(studies, dict) or set(studies) != known:
+            raise WatchStateError(
+                f"{where}: per-dataset studies do not cover the watched "
+                f"datasets {sorted(known)}"
+            )
+        loaded: Dict[str, CorpusStudy] = {}
+        for name, document in studies.items():
+            try:
+                loaded[name] = study_from_dict(document)
+            except StudySnapshotError as error:
+                raise WatchStateError(
+                    f"{where}: study for dataset {name!r}: {error}"
+                ) from error
+        self.generation = generation
+        self._cursors = {}
+        for entry in cursors:
+            cursor = _SourceCursor.from_dict(entry, where)
+            self._cursors[cursor.path] = cursor
+        self._seen = {name: set(digests) for name, digests in seen.items()}
+        self._studies = loaded
+
+    def _write_checkpoint(self) -> None:
+        document = {
+            "kind": CHECKPOINT_KIND,
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+            "generation": self.generation,
+            "inputs": list(self.inputs),
+            "config": self._config_dict(),
+            "cursors": [cursor.to_dict() for cursor in self._cursors.values()],
+            "seen": {
+                name: sorted(digests) for name, digests in self._seen.items()
+            },
+            "studies": {
+                name: study_to_dict(self._studies[name])
+                for name, _ in self._datasets
+            },
+        }
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        # One atomic replace carries cursors AND studies: a kill leaves
+        # the previous checkpoint or this one, never a torn pair.
+        atomic_write_text(
+            self.checkpoint_path,
+            json.dumps(document, separators=(",", ":")) + "\n",
+        )
+        # Derived convenience snapshot (repro report / merge load it);
+        # resume never reads it, so a kill between the two writes
+        # merely leaves it one cycle stale until the next rewrite.
+        save_study(self.study, self.study_path)
+
+    # -- the cycle ----------------------------------------------------
+
+    def cycle(self, drain: bool = False) -> WatchCycle:
+        """Ingest whatever the sources grew by; checkpoint; report.
+
+        With ``drain`` the unterminated tail of every source is
+        consumed as a final entry (use on the last scheduled cycle,
+        when the writer is done).  Returns the cycle's outcome,
+        including a diff report: what changed in Tables 1–6 since the
+        previous checkpoint.
+        """
+        # Reporting imports lazily: analysis must stay importable
+        # without the reporting layer (and vice versa).
+        from ..reporting.reporters import render_rows_diff, study_long_rows
+
+        previous = self.study
+        previous_rows = [] if previous is None else study_long_rows(previous)
+        first = not self._studies
+        new_texts: Dict[str, List[str]] = {}
+        for name, spec in self._datasets:
+            texts: List[str] = []
+            for file_path in source_paths(spec):
+                key = str(file_path)
+                cursor = self._cursors.get(key)
+                if cursor is None:
+                    cursor = self._cursors[key] = _SourceCursor(path=key)
+                texts.extend(cursor.read_new_entries(drain))
+            new_texts[name] = texts
+        counts = {name: len(texts) for name, texts in new_texts.items()}
+        changed = any(counts.values())
+        deltas: Dict[str, CorpusStudy] = {}
+        if changed or first:
+            # The first cycle folds every dataset in, entries or not,
+            # so the study lists them exactly like a one-shot run
+            # would; later cycles only touch datasets that grew.
+            corpora = {
+                name: texts
+                for name, texts in new_texts.items()
+                if first or texts
+            }
+            logs = build_query_logs_parallel(
+                corpora,
+                self.extra_prefixes,
+                workers=1,
+                options=self.options,
+            )
+            for name in corpora:
+                delta = self._measure_delta(name, logs[name])
+                deltas[name] = delta
+                if name in self._studies:
+                    self._studies[name].merge(delta)
+                else:
+                    self._studies[name] = delta
+        self.generation += 1
+        self._write_checkpoint()
+        if deltas and self.warehouse_path is not None:
+            # The warehouse accumulates by merging, so it gets the
+            # cycle's *delta* (cumulative checkpoints would
+            # double-count); its merged study then tracks the
+            # checkpoint study.
+            from ..warehouse import StudyWarehouse
+
+            cycle_delta = CorpusStudy(dedup=True)
+            for name, _ in self._datasets:
+                if name in deltas:
+                    cycle_delta.merge(deltas[name])
+            with StudyWarehouse.open(self.warehouse_path) as warehouse:
+                warehouse.ingest(
+                    cycle_delta,
+                    source=f"watch:{self.state_dir}@{self.generation}",
+                )
+        diff = render_rows_diff(previous_rows, study_long_rows(self.study))
+        return WatchCycle(
+            generation=self.generation,
+            new_entries=counts,
+            changed=changed,
+            diff=diff,
+        )
+
+    def _measure_delta(self, name: str, log: QueryLog) -> CorpusStudy:
+        """Measure one dataset's cycle slice as a mergeable partial study.
+
+        Table 1 counters are the slice's own (they add across cycles);
+        the measured stream is the slice's *first-ever* occurrences —
+        concatenated over cycles that is the one-shot unique stream, in
+        order, which is what makes checkpoint ≡ one-shot exact.
+        Mirrors the serial body of
+        :func:`repro.analysis.study.study_corpus`.
+        """
+        passes = resolve_passes(self.options.metrics)
+        cache = open_structure_cache(self.options)
+        study = CorpusStudy(dedup=True)
+        try:
+            seen = self._seen.setdefault(name, set())
+            fresh: List[ParsedQuery] = []
+            for parsed in log.unique_queries():
+                digest = _text_digest(parsed.text)
+                if digest in seen:
+                    continue
+                seen.add(digest)
+                fresh.append(parsed)
+            stats = DatasetStats(
+                name=name,
+                total=log.total,
+                valid=log.valid,
+                unique=len(fresh),
+                streaks=_claim_streaks(name, log),
+            )
+            study.datasets[name] = stats
+            for parsed in fresh:
+                run_passes(
+                    study,
+                    stats,
+                    parsed,
+                    1,
+                    passes=passes,
+                    options=self.options,
+                    cache=cache,
+                )
+        finally:
+            if isinstance(cache, StoreBackedStructureCache):
+                cache.close()
+        return study

@@ -67,11 +67,16 @@ __all__ = [
 #: Version of the snapshot layout.  Bump on any incompatible change
 #: and teach :func:`study_from_dict` to migrate — or to refuse loudly.
 #: Version 2 added the per-dataset ``streaks`` accumulator (Table 6).
-SCHEMA_VERSION = 2
+#: Version 3 switched streak chains to the lean representation
+#: (start/length/end/head_positions instead of full member-position
+#: lists), making open-chain state O(window) per chain.
+SCHEMA_VERSION = 3
 
 #: Versions :func:`study_from_dict` can read.  Version 1 predates the
 #: streak accumulator: its datasets load with ``streaks = None``.
-COMPATIBLE_SCHEMA_VERSIONS = (1, SCHEMA_VERSION)
+#: Version 2 chains carry full member-position lists and are converted
+#: to the lean representation on load.
+COMPATIBLE_SCHEMA_VERSIONS = (1, 2, SCHEMA_VERSION)
 
 #: The ``kind`` header of a corpus-study snapshot.
 STUDY_KIND = "repro.corpus_study"
@@ -150,6 +155,101 @@ def streaks_to_dict(accumulator: StreakAccumulator) -> Dict[str, Any]:
     return accumulator.to_dict()
 
 
+def _decode_chain(entry: Any, where: str, window: int, length: int) -> _Chain:
+    """Decode one streak chain, either layout, with invariant checks.
+
+    Schema 3 chains are lean (``start``/``length``/``end``/
+    ``head_positions``); schema 2 chains carry full member-position
+    lists and are converted on load.  Cross-field invariants the merge
+    arithmetic relies on must fail here, not as wrong Table 6 numbers
+    after a later merge.
+    """
+    if not isinstance(entry, dict):
+        raise StudySnapshotError(f"{where}: malformed chain {entry!r}")
+    tail = _require(entry, "tail", where)
+    if not isinstance(tail, str):
+        raise StudySnapshotError(f"{where}: malformed chain {entry!r}")
+    if "positions" in entry:  # schema <= 2: full member-position list
+        positions = entry["positions"]
+        if (
+            not isinstance(positions, list)
+            or not positions
+            or not all(
+                isinstance(p, int) and not isinstance(p, bool) for p in positions
+            )
+        ):
+            raise StudySnapshotError(f"{where}: malformed chain {entry!r}")
+        if positions[0] < 0 or positions[-1] >= length or any(
+            later <= earlier for earlier, later in zip(positions, positions[1:])
+        ):
+            raise StudySnapshotError(
+                f"{where}: chain positions {positions!r} are not strictly "
+                f"increasing indices below length {length}"
+            )
+        return _Chain(
+            start=positions[0],
+            length=len(positions),
+            end=positions[-1],
+            head_positions=[p for p in positions if p < window],
+            tail=tail,
+        )
+    start = _require_int(entry, "start", where)
+    members = _require_int(entry, "length", where)
+    end = _require_int(entry, "end", where)
+    head_positions = _require(entry, "head_positions", where)
+    if not isinstance(head_positions, list) or not all(
+        isinstance(p, int) and not isinstance(p, bool) for p in head_positions
+    ):
+        raise StudySnapshotError(f"{where}: malformed chain {entry!r}")
+    # Member positions are strictly increasing stream indices, so any
+    # chain satisfies start <= end < stream length and holds between
+    # 1 + (end > start) and end - start + 1 members.
+    if not (0 <= start <= end < length):
+        raise StudySnapshotError(
+            f"{where}: chain span [{start}, {end}] is not within the "
+            f"consumed stream of length {length}"
+        )
+    if members < 1 + (end > start) or members > end - start + 1:
+        raise StudySnapshotError(
+            f"{where}: chain of {members} member(s) cannot span "
+            f"[{start}, {end}]"
+        )
+    if any(
+        later <= earlier
+        for earlier, later in zip(head_positions, head_positions[1:])
+    ):
+        raise StudySnapshotError(
+            f"{where}: chain head positions {head_positions!r} are not "
+            "strictly increasing"
+        )
+    # Head-region positions are the chain's first members: present and
+    # founder-anchored exactly when the founder is in the head region.
+    if start < window:
+        if (
+            not head_positions
+            or head_positions[0] != start
+            or head_positions[-1] > end
+            or head_positions[-1] >= window
+            or len(head_positions) > members
+        ):
+            raise StudySnapshotError(
+                f"{where}: chain head positions {head_positions!r} do not "
+                f"anchor a chain founded at {start} inside window {window}"
+            )
+    elif head_positions:
+        raise StudySnapshotError(
+            f"{where}: chain founded at {start} beyond window {window} "
+            f"cannot hold head positions {head_positions!r}"
+        )
+    return _Chain(
+        start=start,
+        length=members,
+        end=end,
+        head_positions=list(head_positions),
+        tail=tail,
+    )
+
+
 def streaks_from_dict(data: Any, where: str) -> StreakAccumulator:
     """Rebuild a :class:`StreakAccumulator`; raises on malformed input."""
     if not isinstance(data, dict):
@@ -182,31 +282,9 @@ def streaks_from_dict(data: Any, where: str) -> StreakAccumulator:
     if not isinstance(chains, list):
         raise StudySnapshotError(f"{where}: 'chains' must be a list")
     for entry in chains:
-        if not isinstance(entry, dict):
-            raise StudySnapshotError(f"{where}: malformed chain {entry!r}")
-        positions = _require(entry, "positions", f"{where}.chains")
-        tail = _require(entry, "tail", f"{where}.chains")
-        if (
-            not isinstance(positions, list)
-            or not positions
-            or not all(
-                isinstance(p, int) and not isinstance(p, bool) for p in positions
-            )
-            or not isinstance(tail, str)
-        ):
-            raise StudySnapshotError(f"{where}: malformed chain {entry!r}")
-        # Cross-field invariants the merge arithmetic relies on: member
-        # positions are strictly increasing stream indices inside the
-        # consumed stream.  A snapshot violating them must fail here,
-        # not as wrong Table 6 numbers after a later merge.
-        if positions[0] < 0 or positions[-1] >= length or any(
-            later <= earlier for earlier, later in zip(positions, positions[1:])
-        ):
-            raise StudySnapshotError(
-                f"{where}: chain positions {positions!r} are not strictly "
-                f"increasing indices below length {length}"
-            )
-        accumulator.chains.append(_Chain(positions=list(positions), tail=tail))
+        accumulator.chains.append(
+            _decode_chain(entry, f"{where}.chains", window, length)
+        )
     closed = _decode_counter(_require(data, "closed", where), f"{where}.closed")
     for streak_length, count in closed.items():
         if not isinstance(streak_length, int) or streak_length < 1:

@@ -588,34 +588,32 @@ def streak_length_histogram(
 class _Chain:
     """One streak under construction inside a :class:`StreakAccumulator`.
 
-    ``positions`` are stream positions of the members (strictly
-    increasing; the first one is the founder), ``tail`` is the
-    prefix-stripped text of the last member — the only text similarity
-    ever compares against.
+    The lean representation: instead of every member's stream position
+    (which grows linearly with the streak), a chain keeps only what
+    merging can ever ask for — the founding position ``start`` (the
+    canonical sort key and the head-founded test), the member count
+    ``length``, the last member's position ``end`` (window reach
+    arithmetic), ``tail``, the prefix-stripped text of the last member
+    (the only text similarity ever compares against), and
+    ``head_positions``, the members that fall in the accumulator's head
+    region (``< window``).  Member positions are strictly increasing,
+    so the head-region members are exactly the first
+    ``len(head_positions)`` members: a head position's index in
+    ``head_positions`` *is* its member index, which is all the stitch
+    needs to absorb a suffix.  State per chain is O(window), however
+    long the streak runs.
     """
 
-    positions: List[int]
+    start: int
+    length: int
+    end: int
+    head_positions: List[int]
     tail: str
     #: Cached similarity features of ``tail``; derived state, excluded
     #: from equality and snapshots, rebuilt lazily after a reload.
     prepared: Optional[PreparedText] = field(
         default=None, compare=False, repr=False
     )
-
-    @property
-    def start(self) -> int:
-        """Stream position of the founder (first member)."""
-        return self.positions[0]
-
-    @property
-    def end(self) -> int:
-        """Stream position of the last member."""
-        return self.positions[-1]
-
-    @property
-    def length(self) -> int:
-        """Number of member queries."""
-        return len(self.positions)
 
     def tail_prepared(self) -> PreparedText:
         """The prepared form of ``tail``, (re)built if stale or absent."""
@@ -627,7 +625,10 @@ class _Chain:
     def copy(self) -> "_Chain":
         """An independent deep copy."""
         return _Chain(
-            positions=list(self.positions),
+            start=self.start,
+            length=self.length,
+            end=self.end,
+            head_positions=list(self.head_positions),
             tail=self.tail,
             prepared=self.prepared,
         )
@@ -664,23 +665,22 @@ class StreakAccumulator:
     query belongs to (all chains containing a query share one suffix
     from it, because extending sets the same tail), and deletes the
     absorbed chain if that query *founded* it.  The result is exactly —
-    member positions, tails, histogram, bytes — what the serial
-    detector produces over the concatenated stream, property-tested in
+    chain records, tails, histogram, bytes — what the serial detector
+    produces over the concatenated stream, property-tested in
     ``tests/test_streak_accumulator.py``.
 
     Canonical form (load-bearing for byte-identical snapshots):
     ``chains`` is kept sorted by founding position, which is also the
     serial founding order.
 
-    Memory bound: retained chains store their full member-position
-    lists — the same O(streak length) the serial detector's
-    :class:`Streak` records cost, and negligible for real refinement
-    streaks (the paper's longest was 169).  A pathological stream that
-    is one endless streak (e.g. a bot repeating a single query) keeps
-    that one chain open, and state grows linearly with it; if that
-    ever matters, the lean representation (length/end/tail plus only
-    head-region positions) is a snapshot-schema change, not an
-    algorithm change.
+    Memory bound: retained chains are lean — ``(start, length, end,
+    tail, head-region positions)``, O(window) each — so a pathological
+    stream that is one endless streak (e.g. a bot repeating a single
+    query) holds that one chain open at *constant* size while its
+    ``length`` grows.  Total accumulator state is O(window²) however
+    long the stream runs, which is what lets watch-mode checkpoints
+    (``repro watch``) carry open-chain records as their streak resume
+    token (``tests/test_watch.py`` pins the bound).
     """
 
     __slots__ = (
@@ -735,14 +735,24 @@ class StreakAccumulator:
                 )
                 decisions[key] = verdict
             if verdict:
-                chain.positions.append(position)
+                if position < self.window:
+                    chain.head_positions.append(position)
+                chain.length += 1
+                chain.end = position
                 chain.tail = prepared.text
                 chain.prepared = prepared
                 extended = True
         self._sweep_closed()
         if not extended:
             self.chains.append(
-                _Chain(positions=[position], tail=prepared.text, prepared=prepared)
+                _Chain(
+                    start=position,
+                    length=1,
+                    end=position,
+                    head_positions=[position] if position < self.window else [],
+                    tail=prepared.text,
+                    prepared=prepared,
+                )
             )
 
     def _sweep_closed(self) -> None:
@@ -842,11 +852,12 @@ class StreakAccumulator:
         # Which right-hand chain does each head position belong to, and
         # at which member index?  All chains containing a position share
         # its suffix, so the first (canonical order) is as good as any.
+        # Head positions are the first members of their chain (positions
+        # strictly increase), so the index within ``head_positions`` is
+        # the member index.
         position_index: Dict[int, Tuple[_Chain, int]] = {}
         for chain in other.chains:
-            for index, position in enumerate(chain.positions):
-                if position >= window:
-                    break
+            for index, position in enumerate(chain.head_positions):
                 position_index.setdefault(position, (chain, index))
 
         # Scan the right head once per incoming open chain.  Workers
@@ -894,9 +905,18 @@ class StreakAccumulator:
                 # chain iff it extended nothing, so a founding position
                 # appears in exactly one chain, at member index 0.
                 absorbed_founders.add(position)
-            chain.positions.extend(
-                member + offset for member in source.positions[index:]
-            )
+            # Absorb the suffix of *source* from member *index* on: the
+            # absorbed members shifted by *offset* land in our head
+            # region only if they were right-hand head positions that
+            # shift below the window.
+            chain.length += source.length - index
+            chain.end = source.end + offset
+            if offset < window:
+                chain.head_positions.extend(
+                    member + offset
+                    for member in source.head_positions[index:]
+                    if member + offset < window
+                )
             chain.tail = source.tail
             chain.prepared = source.prepared
 
@@ -907,7 +927,14 @@ class StreakAccumulator:
                 continue
             merged.append(
                 _Chain(
-                    positions=[member + offset for member in chain.positions],
+                    start=chain.start + offset,
+                    length=chain.length,
+                    end=chain.end + offset,
+                    head_positions=[
+                        member + offset
+                        for member in chain.head_positions
+                        if member + offset < window
+                    ],
                     tail=chain.tail,
                     prepared=chain.prepared,
                 )
@@ -971,7 +998,10 @@ class StreakAccumulator:
             self.threshold,
             self.length,
             tuple(self.head),
-            tuple((tuple(c.positions), c.tail) for c in self.chains),
+            tuple(
+                (c.start, c.length, c.end, tuple(c.head_positions), c.tail)
+                for c in self.chains
+            ),
             frozenset(self.closed.items()),
         )
 
@@ -998,7 +1028,13 @@ class StreakAccumulator:
             "length": self.length,
             "head": list(self.head),
             "chains": [
-                {"positions": list(chain.positions), "tail": chain.tail}
+                {
+                    "start": chain.start,
+                    "length": chain.length,
+                    "end": chain.end,
+                    "head_positions": list(chain.head_positions),
+                    "tail": chain.tail,
+                }
                 for chain in self.chains
             ],
             "closed": [

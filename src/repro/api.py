@@ -59,6 +59,7 @@ from .analysis.passes import (
     resolve_sequence_passes,
     sequence_only_selection,
 )
+from .analysis.incremental import WatchCycle, WatchSession
 from .analysis.snapshot import load_study, save_study
 from .analysis.streaks import DEFAULT_STREAK_THRESHOLD, DEFAULT_STREAK_WINDOW
 from .analysis.study import CorpusStudy, study_corpus
@@ -71,6 +72,8 @@ __all__ = [
     "AnalysisResult",
     "AnalysisSession",
     "CoverageCaveats",
+    "WatchCycle",
+    "WatchSession",
     "analyze",
     "analyze_corpora",
     "load_study",

@@ -16,6 +16,11 @@ Commands:
   experiment and print Figure 3.
 * ``streaks FILE|--synthetic N`` — detect streaks (Table 6) in an
   ordered query log.
+* ``watch FILE [FILE...] --state DIR`` — incremental always-on
+  analysis: tail growing logs with resumable cursors, fold each new
+  suffix into a checkpointed study, and print a diff report per cycle
+  (what changed in Tables 1–6); killing and restarting resumes from
+  the last durable checkpoint.
 * ``cache stats|clear PATH`` — inspect or empty a persistent structure
   cache written by ``analyze --structure-cache``.
 * ``warehouse ingest|query|stats`` — maintain and query a persistent
@@ -33,6 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 import warnings
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -45,11 +51,12 @@ from .api import (
     AnalysisRequest,
     AnalysisSession,
     CorpusStudy,
+    WatchSession,
     load_study,
     save_study,
 )
 from .engine import IndexedEngine, NestedLoopEngine
-from .exceptions import StudySnapshotError, WarehouseError
+from .exceptions import StudySnapshotError, WarehouseError, WatchStateError
 from .warehouse import StudyWarehouse
 from .logs import encode_access_log_line, read_entries
 from .reporting import (
@@ -272,6 +279,60 @@ def _cmd_streaks(args: argparse.Namespace) -> int:
         print("streaks: no streak state was produced", file=sys.stderr)
         return 2
     print(block)
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Incremental always-on analysis over growing logs."""
+    metrics = None
+    if args.metrics is not None:
+        metrics = tuple(
+            name.strip() for name in args.metrics.split(",") if name.strip()
+        )
+        if not metrics:
+            print(
+                f"watch: --metrics selects no passes; "
+                f"available: {', '.join(PASS_NAMES)}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        session = WatchSession(
+            tuple(args.files),
+            args.state,
+            metrics=metrics,
+            streak_window=args.streak_window,
+            streak_threshold=args.streak_threshold,
+            shape_node_limit=args.shape_node_limit,
+            warehouse_path=args.warehouse,
+        )
+    except (ValueError, WatchStateError, OSError) as error:
+        print(f"watch: {error}", file=sys.stderr)
+        return 2
+    remaining = args.cycles  # 0 means: run until interrupted
+    try:
+        while True:
+            drain = remaining == 1 and not args.no_drain
+            outcome = session.cycle(drain=drain)
+            print(
+                f"cycle {outcome.generation}: "
+                f"{outcome.total_new} new entries"
+                + (" (drained)" if drain else "")
+            )
+            if outcome.diff:
+                _emit(outcome.diff)
+            if remaining:
+                remaining -= 1
+                if not remaining:
+                    break
+            if args.interval > 0:
+                time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    except (ValueError, WatchStateError, StudySnapshotError, OSError) as error:
+        print(f"watch: {error}", file=sys.stderr)
+        return 2
+    print(f"study checkpoint: {session.study_path}")
     return 0
 
 
@@ -658,6 +719,87 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_format_option(report)
     report.set_defaults(func=_cmd_report)
+
+    watch = commands.add_parser(
+        "watch",
+        help="incremental always-on analysis: tail growing logs into a "
+        "checkpointed study with per-cycle diff reports",
+    )
+    watch.add_argument(
+        "files",
+        nargs="+",
+        help="query/log files (plain or gzip) or log directories to tail "
+        "(one dataset each, like `analyze`)",
+    )
+    watch.add_argument(
+        "--state",
+        required=True,
+        metavar="DIR",
+        help="state directory holding the resumable checkpoint "
+        "(checkpoint.json + study.json; created on first use, resumed "
+        "on every later run)",
+    )
+    watch.add_argument(
+        "--cycles",
+        type=_nonnegative_int,
+        default=1,
+        metavar="N",
+        help="number of ingest cycles to run (default 1; 0 runs until "
+        "interrupted)",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="sleep between cycles (default 2.0; ignored after the last)",
+    )
+    watch.add_argument(
+        "--no-drain",
+        action="store_true",
+        help="leave an unterminated final line/block for the next run "
+        "instead of consuming it on the last scheduled cycle",
+    )
+    watch.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PASS[,PASS...]",
+        help="analyzer passes to run, fixed at the first checkpoint "
+        f"(default: all of {', '.join(PASS_NAMES)}; resuming with a "
+        "different selection is an error)",
+    )
+    watch.add_argument(
+        "--streak-window",
+        type=_positive_int,
+        default=DEFAULT_STREAK_WINDOW,
+        metavar="N",
+        help="streak lookbehind window for `--metrics streaks` "
+        f"(default {DEFAULT_STREAK_WINDOW})",
+    )
+    watch.add_argument(
+        "--streak-threshold",
+        type=float,
+        default=DEFAULT_STREAK_THRESHOLD,
+        metavar="X",
+        help="normalized-Levenshtein similarity threshold for "
+        f"`--metrics streaks` (default {DEFAULT_STREAK_THRESHOLD})",
+    )
+    watch.add_argument(
+        "--shape-node-limit",
+        type=_positive_int,
+        default=DEFAULT_SHAPE_NODE_LIMIT,
+        metavar="N",
+        help="skip shape/treewidth analysis above N canonical-graph "
+        f"nodes (default {DEFAULT_SHAPE_NODE_LIMIT})",
+    )
+    watch.add_argument(
+        "--warehouse",
+        default=None,
+        metavar="PATH",
+        help="also ingest each cycle's delta into this study warehouse "
+        "(created if missing; the warehouse then tracks the checkpoint)",
+    )
+    watch.set_defaults(func=_cmd_watch)
 
     cache = commands.add_parser(
         "cache",

@@ -19,6 +19,7 @@ __all__ = [
     "StudySnapshotError",
     "ReporterRegistrationError",
     "WarehouseError",
+    "WatchStateError",
 ]
 
 
@@ -78,6 +79,17 @@ class ReporterRegistrationError(ReproError, ValueError):
     Subclasses :class:`ValueError` too, so pre-typed callers that
     caught ``ValueError`` around :func:`repro.reporting.register_reporter`
     keep working."""
+
+
+class WatchStateError(ReproError):
+    """Watch-mode state cannot be trusted or continued.
+
+    Raised by :mod:`repro.analysis.incremental` when a checkpoint file
+    is corrupt or was written under different options than the session
+    asks for, or when a tailed source changed behind the cursor
+    (truncated, rotated, or rewritten bytes the study already folded
+    in) — always with a message naming the file, so ``repro watch``
+    can exit 2 instead of silently double-counting history."""
 
 
 class WarehouseError(ReproError):

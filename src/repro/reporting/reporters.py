@@ -25,7 +25,16 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, Iterable, List, Protocol, Sequence, Tuple, runtime_checkable
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from ..analysis.study import CorpusStudy
 from ..exceptions import ReporterRegistrationError
@@ -45,9 +54,12 @@ __all__ = [
     "JsonlReporter",
     "CsvReporter",
     "MarkdownReporter",
+    "DiffReporter",
     "get_reporter",
     "register_reporter",
+    "render_diff",
     "render_report",
+    "render_rows_diff",
     "reporter_names",
     "study_long_rows",
 ]
@@ -218,6 +230,93 @@ def study_long_rows(study: CorpusStudy) -> List[Tuple[str, str, str, str]]:
     rows.append(("coverage", "non_ctract_truncated", "absolute",
                  str(study.non_ctract_truncated)))
     return rows
+
+
+def render_rows_diff(
+    old: Sequence[Tuple[str, str, str, str]],
+    new: Sequence[Tuple[str, str, str, str]],
+) -> str:
+    """Cell-level difference of two :func:`study_long_rows` listings.
+
+    Every measurement of the study is one ``(section, row, column)``
+    cell; the diff lists, per section and in the *new* study's
+    presentation order, the cells that appeared (``+``), vanished
+    (``-``), or changed value (``old -> new``).  Identical studies
+    produce the empty string, so ``repro watch`` cycles that ingested
+    nothing print nothing — the property the CI round-trip check pins.
+    """
+    old_cells = {(section, row, column): value
+                 for section, row, column, value in old}
+    new_cells = {(section, row, column): value
+                 for section, row, column, value in new}
+    lines: List[str] = []
+    section_lines: List[str] = []
+    current: str = ""
+
+    def flush() -> None:
+        if section_lines:
+            lines.append(f"{current}:")
+            lines.extend(section_lines)
+            section_lines.clear()
+
+    seen_keys = set()
+    for section, row, column, value in new:
+        key = (section, row, column)
+        seen_keys.add(key)
+        before = old_cells.get(key)
+        if before == value:
+            continue
+        if section != current:
+            flush()
+            current = section
+        label = f"{row} / {column}"
+        if before is None:
+            section_lines.append(f"  + {label} = {value}")
+        else:
+            section_lines.append(f"    {label}: {before} -> {value}")
+    flush()
+    removed = [
+        (section, row, column, value)
+        for section, row, column, value in old
+        if (section, row, column) not in seen_keys
+    ]
+    for section, row, column, value in removed:
+        if section != current:
+            flush()
+            current = section
+            lines.append(f"{current}:")
+        lines.append(f"  - {row} / {column} = {value}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_diff(old: Optional[CorpusStudy], new: CorpusStudy) -> str:
+    """What changed in the paper tables between two studies.
+
+    *old* may be ``None`` (everything is new — the first watch cycle's
+    view).  Equal studies render as the empty string."""
+    return render_rows_diff(
+        [] if old is None else study_long_rows(old), study_long_rows(new)
+    )
+
+
+class DiffReporter:
+    """Change report against a baseline study (``repro watch`` cycles).
+
+    The registry instantiates this with no baseline — rendering then
+    shows every cell as new, which is the honest diff against "no
+    study".  Programmatic users (and the watch loop) construct their
+    own ``DiffReporter(baseline)`` or call :func:`render_diff`.
+    """
+
+    name = "diff"
+    description = "cells added/changed/removed vs a baseline study"
+
+    def __init__(self, baseline: Optional[CorpusStudy] = None) -> None:
+        self.baseline = baseline
+
+    def render(self, study: CorpusStudy) -> str:
+        """Render the cell diff of *study* against the baseline."""
+        return render_diff(self.baseline, study)
 
 
 class CsvReporter:
@@ -446,6 +545,7 @@ for _reporter in (
     JsonlReporter(),
     CsvReporter(),
     MarkdownReporter(),
+    DiffReporter(),
 ):
     register_reporter(_reporter)
 

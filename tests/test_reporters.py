@@ -40,7 +40,9 @@ def study(logs):
 
 class TestRegistry:
     def test_builtin_formats_registered(self):
-        assert reporter_names() == ("text", "json", "jsonl", "csv", "markdown")
+        assert reporter_names() == (
+            "text", "json", "jsonl", "csv", "markdown", "diff",
+        )
 
     def test_unknown_format_raises_with_available_list(self):
         with pytest.raises(ValueError, match="available: text"):

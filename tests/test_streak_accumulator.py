@@ -3,9 +3,9 @@
 The contract under test (ISSUE 5 acceptance criteria):
 
 * ``merge(detect(a), detect(b)) ≡ detect(a + b)`` — full accumulator
-  equality (member positions, tails, histograms, canonical snapshot
-  bytes), for any chunk split, property-tested across windows and
-  chunk sizes;
+  equality (chain spans, head-region positions, tails, histograms,
+  canonical snapshot bytes), for any chunk split, property-tested
+  across windows and chunk sizes;
 * the accumulator's histogram is byte-identical to the serial
   ``find_streaks`` path;
 * chunk-boundary edge cases hold: streaks spanning three or more
@@ -104,8 +104,8 @@ class TestChunkBoundaries:
         merged = detect_chunked(stream, window=30, boundaries=[2, 4, 6])
         assert merged == detect(stream, 30)
         by_start = {chain.start: chain for chain in merged.chains}
-        assert by_start[0].positions == [0, 6]  # Alice chain spans 3 stitches
-        assert by_start[1].positions == [1, 5]
+        assert by_start[0].head_positions == [0, 6]  # Alice chain spans 3 stitches
+        assert by_start[1].head_positions == [1, 5]
 
     def test_empty_chunks_are_identity(self):
         stream = [make_query(i % 3, i % 2) for i in range(10)]
@@ -124,7 +124,8 @@ class TestChunkBoundaries:
         stream = [make_query(0, 1), make_query(0, 2), make_query(0, 3)]
         merged = detect_chunked(stream, window=3, boundaries=[1])
         assert merged.streak_count == 1
-        assert merged.chains[0].positions == [0, 1, 2]
+        assert merged.chains[0].head_positions == [0, 1, 2]
+        assert merged.chains[0].length == 3
 
     def test_out_of_window_chains_do_not_stitch(self):
         # The similar query in chunk 2 sits beyond the window reach of
@@ -133,7 +134,7 @@ class TestChunkBoundaries:
         stream = [make_query(0, 1)] + fillers + [make_query(0, 2)]
         merged = detect_chunked(stream, window=2, boundaries=[2])
         assert merged == detect(stream, 2)
-        lengths = sorted(len(c.positions) for c in merged.chains) + sorted(
+        lengths = sorted(c.length for c in merged.chains) + sorted(
             length for length, n in merged.closed.items() for _ in range(n)
         )
         assert 2 not in lengths  # the Alice pair never joined up

@@ -5,11 +5,13 @@ End-to-end contracts:
 * ``repro analyze --metrics streaks`` (via the facade) detects exactly
   what the standalone serial ``find_streaks`` scan detects — serial,
   sharded, and streamed ingestion all byte-identical;
-* streak state snapshots with the study (``SCHEMA_VERSION`` 2), and a
-  reloaded snapshot renders Table 6 byte-identically to the direct run;
+* streak state snapshots with the study (``SCHEMA_VERSION`` 3, lean
+  chains), and a reloaded snapshot renders Table 6 byte-identically to
+  the direct run;
 * shard snapshots of one log merge by *stitching* the stream, equal to
   analyzing the whole log at once;
-* schema-1 snapshots (pre-streaks) still load, with no streak state.
+* schema-1 snapshots (pre-streaks) still load, with no streak state,
+  and schema-2 chains (full member-position lists) convert on load.
 """
 
 import json
@@ -185,8 +187,8 @@ class TestSnapshots:
         )
 
     def test_schema_is_bumped(self, streak_result):
-        assert SCHEMA_VERSION == 2
-        assert streak_result.study.to_dict()["schema"] == 2
+        assert SCHEMA_VERSION == 3
+        assert streak_result.study.to_dict()["schema"] == 3
 
     def test_schema_one_snapshots_still_load(self, streak_result):
         data = json.loads(json.dumps(streak_result.study.to_dict()))
